@@ -1,0 +1,135 @@
+"""Adaptive frog-budget benchmark (Remark 6 as a stopping rule).
+
+Remark 6 gives the order of the required budget, N = O(k / mu_k^2),
+but its constant is unknowable a priori.  The adaptive runner finds it
+online; this bench checks the schedule's economics:
+
+* the adaptive answer matches a generously-provisioned fixed run;
+* total adaptive spend (all rounds, pilot included) stays within a
+  small multiple of the final round — the geometric schedule's classic
+  2x-ish overhead;
+* the stopping rule actually engages: fewer total frogs than always
+  running the worst-case budget.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import (
+    AdaptiveConfig,
+    FrogWildConfig,
+    run_adaptive_frogwild,
+    run_frogwild,
+)
+from repro.graph import twitter_like
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import exact_pagerank
+
+_CACHE = {}
+_MACHINES = 16
+_K = 100
+_MAX_FROGS = 128_000
+
+
+@pytest.fixture(scope="module")
+def graph():
+    if "graph" not in _CACHE:
+        _CACHE["graph"] = twitter_like(n=20_000, seed=5)
+    return _CACHE["graph"]
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    if "truth" not in _CACHE:
+        _CACHE["truth"] = exact_pagerank(graph)
+    return _CACHE["truth"]
+
+
+@pytest.fixture(scope="module")
+def outcome(graph):
+    if "outcome" not in _CACHE:
+        _CACHE["outcome"] = run_adaptive_frogwild(
+            graph,
+            AdaptiveConfig(
+                k=_K,
+                pilot_frogs=2_000,
+                max_frogs=_MAX_FROGS,
+                stability_threshold=0.9,
+                min_separation_z=1.0,
+            ),
+            num_machines=_MACHINES,
+            seed=0,
+        )
+    return _CACHE["outcome"]
+
+
+def test_adaptive_matches_fixed_oracle(benchmark, graph, truth, outcome):
+    """The adaptive answer is as accurate as a fixed run provisioned at
+    the budget cap (the oracle a user would overpay for)."""
+
+    def run_fixed():
+        return run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=_MAX_FROGS, iterations=4, seed=0),
+            num_machines=_MACHINES,
+        )
+
+    oracle = run_once(benchmark, run_fixed)
+    mass_adaptive = normalized_mass_captured(
+        outcome.estimate.vector(), truth, _K
+    )
+    mass_oracle = normalized_mass_captured(
+        oracle.estimate.vector(), truth, _K
+    )
+    assert mass_adaptive > mass_oracle - 0.02
+    assert mass_adaptive > 0.95
+
+
+def test_geometric_overhead_is_bounded(benchmark, outcome):
+    """Total frogs across all rounds stay within 3x the final round —
+    the standard geometric-doubling guarantee."""
+
+    def collect():
+        return outcome
+
+    result = run_once(benchmark, collect)
+    final_round_frogs = result.rounds[-1].num_frogs
+    assert result.total_frogs() <= 3 * final_round_frogs
+
+
+def test_stops_before_the_cap_when_stable(benchmark, graph):
+    """On an easy target (small k) the rule converges well below the
+    budget cap."""
+
+    def run_easy():
+        return run_adaptive_frogwild(
+            graph,
+            AdaptiveConfig(
+                k=10,
+                pilot_frogs=2_000,
+                max_frogs=_MAX_FROGS,
+                stability_threshold=0.8,
+                min_separation_z=0.5,
+            ),
+            num_machines=_MACHINES,
+            seed=0,
+        )
+
+    easy = run_once(benchmark, run_easy)
+    assert easy.converged
+    assert easy.rounds[-1].num_frogs < _MAX_FROGS
+
+
+def test_self_estimate_tracks_truth(benchmark, truth, outcome):
+    """The pilot's self-estimated mu_k lands within 2x of the true
+    mu_k(pi) — close enough for an order-targeting budget rule."""
+
+    def collect():
+        return outcome
+
+    result = run_once(benchmark, collect)
+    import numpy as np
+
+    true_mu = float(np.sort(truth)[::-1][:_K].sum())
+    last_estimate = result.rounds[-1].mu_k_self_estimate
+    assert 0.5 * true_mu < last_estimate < 2.0 * true_mu

@@ -1,0 +1,100 @@
+"""Mechanism bench: *where* the bytes go, per record kind.
+
+Figure 1c shows FrogWild's total network bill collapsing; this bench
+decomposes the bill to verify the collapse happens through the exact
+mechanism the paper describes — the ``ps`` patch removing mirror-sync
+records — rather than through some accounting accident:
+
+* GraphLab PR's bill is dominated by gather partials + mirror syncs;
+* FrogWild eliminates gather entirely (frogs carry the state);
+* sweeping ps scales the *sync* component roughly proportionally while
+  the scatter component shrinks much more slowly.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import FrogWildConfig, run_frogwild
+from repro.engine import build_cluster, traffic_breakdown
+from repro.graph import twitter_like
+from repro.pagerank import graphlab_pagerank
+
+_CACHE = {}
+_MACHINES = 16
+
+
+@pytest.fixture(scope="module")
+def graph():
+    if "graph" not in _CACHE:
+        _CACHE["graph"] = twitter_like(n=20_000, seed=5)
+    return _CACHE["graph"]
+
+
+def _frogwild_breakdown(graph, ps):
+    result = run_frogwild(
+        graph,
+        FrogWildConfig(num_frogs=12_000, iterations=4, ps=ps, seed=0),
+        num_machines=_MACHINES,
+    )
+    return traffic_breakdown(result.state)
+
+
+def test_baseline_bill_is_gather_plus_sync(benchmark, graph):
+    """GraphLab PR moves rank mass through gather partials and mirror
+    updates — together roughly three quarters of the bill, with scatter
+    activation signals the remainder."""
+
+    def run():
+        state = build_cluster(graph, _MACHINES, seed=0)
+        graphlab_pagerank(graph, tolerance=1e-6, state=state)
+        return traffic_breakdown(state)
+
+    breakdown = run_once(benchmark, run)
+    heavy = breakdown.byte_share("gather") + breakdown.byte_share("sync")
+    assert heavy > 0.6, breakdown.to_text()
+    assert breakdown.byte_share("gather") > breakdown.byte_share("scatter")
+
+
+def test_frogwild_eliminates_gather(benchmark, graph):
+    """Frogs carry the state with them: zero gather records."""
+
+    def run():
+        return _frogwild_breakdown(graph, ps=1.0)
+
+    breakdown = run_once(benchmark, run)
+    assert breakdown.bytes_by_kind.get("gather", 0) == 0
+    assert breakdown.bytes_by_kind["scatter"] > 0
+
+
+def test_ps_scales_the_sync_component(benchmark, graph):
+    """Sync bytes fall close to proportionally with ps (the patch flips
+    one coin per mirror); scatter bytes fall much more slowly (frogs
+    still hop, just through fewer fresh mirrors)."""
+
+    def sweep():
+        return {ps: _frogwild_breakdown(graph, ps) for ps in (1.0, 0.5, 0.1)}
+
+    breakdowns = run_once(benchmark, sweep)
+    sync = {ps: b.bytes_by_kind["sync"] for ps, b in breakdowns.items()}
+    scatter = {
+        ps: b.bytes_by_kind["scatter"] for ps, b in breakdowns.items()
+    }
+    # Sync at ps=0.5 lands near half of ps=1 (repair adds a little back).
+    ratio_sync = sync[0.5] / sync[1.0]
+    assert 0.35 < ratio_sync < 0.7, ratio_sync
+    # Sync shrinks strictly faster than scatter as ps drops to 0.1.
+    assert sync[0.1] / sync[1.0] < scatter[0.1] / scatter[1.0]
+
+
+def test_sync_share_shrinks_with_ps(benchmark, graph):
+    """The share of the total bill attributable to synchronization is
+    monotone in ps — the patch attacks exactly that component."""
+
+    def sweep():
+        return {
+            ps: _frogwild_breakdown(graph, ps).byte_share("sync")
+            for ps in (1.0, 0.5, 0.1)
+        }
+
+    shares = run_once(benchmark, sweep)
+    assert shares[1.0] > shares[0.5] > shares[0.1]

@@ -1,0 +1,112 @@
+"""Recovery-strategy ablation: uniform rebirth vs checkpoint/restore.
+
+Anonymous, uniformly-born walkers are FrogWild's implicit fault-
+tolerance story: losing a machine's frogs and rebirthing them uniformly
+is *statistically free* (the birth law was uniform anyway).  The
+classic engine answer — periodic checkpointing — buys nothing here and
+pays a continuous traffic tax.  This bench makes that concrete:
+
+* same crash, both recoveries: accuracy within noise of each other;
+* checkpointing's network bill strictly dominates rebirth's at every
+  checkpoint interval;
+* the tax scales with checkpoint frequency.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import FrogWildConfig
+from repro.engine import build_cluster, traffic_breakdown
+from repro.faults import (
+    CheckpointConfig,
+    CheckpointedFrogWildRunner,
+    FaultSchedule,
+    MachineCrash,
+    run_frogwild_with_faults,
+)
+from repro.graph import twitter_like
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import exact_pagerank
+
+_CACHE = {}
+_MACHINES = 8
+_CONFIG = FrogWildConfig(num_frogs=16_000, iterations=4, seed=0)
+_SCHEDULE = FaultSchedule(
+    crashes=(MachineCrash(step=2, machine=0, rebirth=True),)
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    if "graph" not in _CACHE:
+        _CACHE["graph"] = twitter_like(n=20_000, seed=5)
+    return _CACHE["graph"]
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    if "truth" not in _CACHE:
+        _CACHE["truth"] = exact_pagerank(graph)
+    return _CACHE["truth"]
+
+
+def _checkpointed(graph, interval):
+    state = build_cluster(graph, _MACHINES, seed=0)
+    runner = CheckpointedFrogWildRunner(
+        state, _CONFIG, _SCHEDULE, CheckpointConfig(interval=interval)
+    )
+    return runner, runner.run()
+
+
+def test_rebirth_matches_checkpoint_accuracy(benchmark, graph, truth):
+    """Same crash: rebirth's accuracy within noise of checkpointing's —
+    the restored identities carried no information worth storing."""
+
+    def run_both():
+        reborn, _ = run_frogwild_with_faults(
+            graph, _SCHEDULE, _CONFIG, num_machines=_MACHINES
+        )
+        _, checkpointed = _checkpointed(graph, interval=1)
+        return reborn, checkpointed
+
+    reborn, checkpointed = run_once(benchmark, run_both)
+    mass_reborn = normalized_mass_captured(
+        reborn.estimate.vector(), truth, 100
+    )
+    mass_checkpoint = normalized_mass_captured(
+        checkpointed.estimate.vector(), truth, 100
+    )
+    assert mass_reborn > mass_checkpoint - 0.03
+    assert mass_reborn > 0.9
+
+
+def test_checkpoint_traffic_tax(benchmark, graph):
+    """Checkpointing strictly inflates the network bill; rebirth is free."""
+
+    def run_both():
+        reborn, _ = run_frogwild_with_faults(
+            graph, _SCHEDULE, _CONFIG, num_machines=_MACHINES
+        )
+        _, checkpointed = _checkpointed(graph, interval=1)
+        return reborn, checkpointed
+
+    reborn, checkpointed = run_once(benchmark, run_both)
+    assert checkpointed.report.network_bytes > reborn.report.network_bytes
+    tax = traffic_breakdown(checkpointed.state).bytes_by_kind["checkpoint"]
+    assert tax > 0
+
+
+def test_tax_scales_with_frequency(benchmark, graph):
+    """Every-step checkpoints cost more than every-4-steps checkpoints."""
+
+    def run_both():
+        _, frequent = _checkpointed(graph, interval=1)
+        _, sparse = _checkpointed(graph, interval=4)
+        return frequent, sparse
+
+    frequent, sparse = run_once(benchmark, run_both)
+    tax_frequent = traffic_breakdown(frequent.state).bytes_by_kind[
+        "checkpoint"
+    ]
+    tax_sparse = traffic_breakdown(sparse.state).bytes_by_kind["checkpoint"]
+    assert tax_frequent > tax_sparse

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the library's hot components.
+
+These use pytest-benchmark's statistical repetition (unlike the figure
+reproductions, which run once): they track the throughput of the pieces
+a user pays for repeatedly — graph construction, ingress, one FrogWild
+superstep cycle, one engine PageRank iteration, and the exact solver.
+"""
+
+import pytest
+
+from repro.cluster import ObliviousVertexCut, RandomVertexCut
+from repro.core import FrogWildConfig, run_frogwild
+from repro.engine import build_cluster
+from repro.graph import twitter_like
+from repro.pagerank import exact_pagerank, graphlab_pagerank
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return twitter_like(n=10_000, seed=3)
+
+
+def test_graph_generation(benchmark):
+    result = benchmark(lambda: twitter_like(n=5_000, seed=1))
+    assert result.num_vertices == 5_000
+
+
+def test_random_vertex_cut(benchmark, graph):
+    cutter = RandomVertexCut(seed=0)
+    partition = benchmark(lambda: cutter.partition(graph, 16))
+    assert partition.edge_machine.size == graph.num_edges
+
+
+def test_oblivious_vertex_cut(benchmark, graph):
+    cutter = ObliviousVertexCut(seed=0)
+    partition = benchmark.pedantic(
+        lambda: cutter.partition(graph, 16), rounds=1, iterations=1
+    )
+    assert partition.edge_machine.size == graph.num_edges
+
+
+def test_cluster_build(benchmark, graph):
+    state = benchmark(lambda: build_cluster(graph, num_machines=16, seed=0))
+    assert state.num_machines == 16
+
+
+def test_exact_pagerank(benchmark, graph):
+    pi = benchmark(lambda: exact_pagerank(graph))
+    assert abs(pi.sum() - 1.0) < 1e-9
+
+
+def test_frogwild_run(benchmark, graph):
+    config = FrogWildConfig(num_frogs=8_000, iterations=4, ps=0.7, seed=0)
+    result = benchmark(
+        lambda: run_frogwild(graph, config, num_machines=16)
+    )
+    assert result.estimate.total_stopped == 8_000
+
+
+def test_graphlab_pr_two_iterations(benchmark, graph):
+    result = benchmark(
+        lambda: graphlab_pagerank(graph, num_machines=16, iterations=2)
+    )
+    assert result.report.supersteps == 2

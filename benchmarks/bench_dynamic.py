@@ -1,0 +1,156 @@
+"""Dynamic-graph tracking benchmark (the paper's OSN motivation).
+
+Section 1 of the paper argues that on highly dynamic activity graphs
+the top-k PageRank list must be recalculated constantly, making "a fast
+approximation for the top-PageRank nodes a desirable alternative to the
+exact solution".  This bench quantifies that claim on the simulator:
+
+* per-churn-tick refresh cost of FrogWild tracking vs re-running the
+  GraphLab PR baseline to convergence on each snapshot,
+* list stability under light churn (the answer shouldn't thrash),
+* responsiveness: a synthetic hub takeover must enter the list in one
+  refresh,
+* incremental ingress: per-tick placement work is proportional to the
+  churn batch, not the graph.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import FrogWildConfig
+from repro.dynamic import (
+    ChurnGenerator,
+    DynamicDiGraph,
+    GraphDelta,
+    PageRankTracker,
+    stable_hash_partition,
+)
+from repro.engine import build_cluster
+from repro.graph import twitter_like
+from repro.pagerank import graphlab_pagerank
+
+_CACHE = {}
+_MACHINES = 8
+_TICKS = 5
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    if "graph" not in _CACHE:
+        _CACHE["graph"] = twitter_like(n=10_000, seed=13)
+    return _CACHE["graph"]
+
+
+def _fresh_tracker(base_graph, validate=False):
+    dynamic = DynamicDiGraph.from_digraph(base_graph)
+    tracker = PageRankTracker(
+        dynamic,
+        k=50,
+        config=FrogWildConfig(num_frogs=10_000, iterations=4, seed=0),
+        num_machines=_MACHINES,
+        seed=0,
+        validate=validate,
+    )
+    return dynamic, tracker
+
+
+def test_tracking_beats_exact_recompute(benchmark, base_graph):
+    """Per-tick refresh: FrogWild orders of magnitude below exact PR."""
+
+    def run_both():
+        dynamic, tracker = _fresh_tracker(base_graph)
+        churn = ChurnGenerator(add_rate=0.01, remove_rate=0.01, seed=1)
+        exact_bytes = []
+        for _ in range(_TICKS):
+            tracker.update(churn.step(dynamic))
+            snapshot = dynamic.snapshot()
+            state = build_cluster(
+                snapshot,
+                _MACHINES,
+                seed=0,
+                partition=stable_hash_partition(snapshot, _MACHINES),
+            )
+            exact = graphlab_pagerank(
+                snapshot, tolerance=1e-6, state=state, max_supersteps=200
+            )
+            exact_bytes.append(exact.report.network_bytes)
+        return tracker, exact_bytes
+
+    tracker, exact_bytes = run_once(benchmark, run_both)
+    frog_ticks = tracker.history[1:]  # skip the initial build
+    mean_frog = np.mean([u.network_bytes for u in frog_ticks])
+    mean_exact = np.mean(exact_bytes)
+    assert mean_frog * 10 < mean_exact, (
+        f"FrogWild tick {mean_frog:.2e}B vs exact {mean_exact:.2e}B"
+    )
+
+
+def test_tracking_quality_under_churn(benchmark, base_graph):
+    """Each refreshed list must stay accurate against the snapshot's
+    exact PageRank while the graph churns."""
+
+    def run_tracked():
+        dynamic, tracker = _fresh_tracker(base_graph, validate=True)
+        churn = ChurnGenerator(add_rate=0.01, remove_rate=0.01, seed=2)
+        for _ in range(3):
+            tracker.update(churn.step(dynamic))
+        return tracker
+
+    tracker = run_once(benchmark, run_tracked)
+    masses = [u.mass_vs_exact for u in tracker.history]
+    assert all(m is not None and m > 0.85 for m in masses), masses
+
+
+def test_list_stability_under_light_churn(benchmark, base_graph):
+    """1% churn per tick must not thrash the reported top-50."""
+
+    def run_tracked():
+        dynamic, tracker = _fresh_tracker(base_graph)
+        churn = ChurnGenerator(add_rate=0.01, remove_rate=0.01, seed=3)
+        for _ in range(_TICKS):
+            tracker.update(churn.step(dynamic))
+        return tracker
+
+    tracker = run_once(benchmark, run_tracked)
+    assert tracker.churn_stability() > 0.75
+
+
+def test_hub_takeover_detected_in_one_refresh(benchmark, base_graph):
+    """Responsiveness: a vertex gaining thousands of in-links enters the
+    top-k at the very next refresh."""
+
+    def run_takeover():
+        dynamic, tracker = _fresh_tracker(base_graph)
+        newcomer = base_graph.num_vertices - 1
+        sources = np.arange(3_000)
+        delta = GraphDelta(
+            added=np.column_stack(
+                [sources, np.full(sources.size, newcomer)]
+            )
+        )
+        return newcomer, tracker.update(delta)
+
+    newcomer, update = run_once(benchmark, run_takeover)
+    assert newcomer in set(update.top_k.tolist())
+
+
+def test_incremental_ingress_is_proportional_to_churn(benchmark, base_graph):
+    """Per-tick placements track the churn batch size, not graph size."""
+
+    def run_tracked():
+        dynamic, tracker = _fresh_tracker(base_graph)
+        churn = ChurnGenerator(add_rate=0.01, remove_rate=0.01, seed=4)
+        deltas = []
+        for _ in range(3):
+            delta = churn.step(dynamic)
+            deltas.append(delta)
+            tracker.update(delta)
+        return tracker, deltas
+
+    tracker, deltas = run_once(benchmark, run_tracked)
+    initial = tracker.history[0].new_edge_placements
+    for update, delta in zip(tracker.history[1:], deltas):
+        batch = delta.num_added + delta.num_removed
+        assert update.new_edge_placements <= batch
+        assert update.new_edge_placements < initial * 0.1

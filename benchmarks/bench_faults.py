@@ -1,0 +1,152 @@
+"""Fault-tolerance ablations.
+
+The paper never evaluates failures, but its design choices (anonymous
+walkers, uniform births, local deaths) buy graceful degradation almost
+for free — these benches quantify that, plus the straggler argument for
+partial synchronization:
+
+* accuracy vs crash count (with rebirth recovery),
+* accuracy vs in-flight drop rate,
+* a straggling machine inflates BSP supersteps; lowering ``ps`` hands
+  the straggler less sync work and claws back wall-clock time.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.core import FrogWildConfig, run_frogwild
+from repro.faults import (
+    FaultSchedule,
+    MachineCrash,
+    MessageDrop,
+    StragglerCostModel,
+    run_frogwild_with_faults,
+)
+from repro.graph import twitter_like
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import exact_pagerank
+
+_CACHE = {}
+_MACHINES = 8
+_CONFIG = FrogWildConfig(num_frogs=16_000, iterations=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    if "graph" not in _CACHE:
+        _CACHE["graph"] = twitter_like(n=20_000, seed=5)
+    return _CACHE["graph"]
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    if "truth" not in _CACHE:
+        _CACHE["truth"] = exact_pagerank(graph)
+    return _CACHE["truth"]
+
+
+def test_accuracy_vs_crash_count(benchmark, graph, truth):
+    """Killing 0/1/2 of 8 machines mid-run degrades accuracy gently."""
+
+    def sweep():
+        masses = {}
+        for crashes in (0, 1, 2):
+            schedule = FaultSchedule(
+                crashes=tuple(
+                    MachineCrash(step=1, machine=m, rebirth=True)
+                    for m in range(crashes)
+                )
+            )
+            result, _ = run_frogwild_with_faults(
+                graph, schedule, _CONFIG, num_machines=_MACHINES
+            )
+            masses[crashes] = normalized_mass_captured(
+                result.estimate.vector(), truth, 100
+            )
+        return masses
+
+    masses = run_once(benchmark, sweep)
+    assert masses[0] > 0.9
+    # Two crashed machines still leave a usable answer.
+    assert masses[2] > masses[0] - 0.15
+
+
+def test_accuracy_vs_drop_rate(benchmark, graph, truth):
+    """In-flight loss up to 20% shaves mass roughly linearly, not
+    catastrophically: lost walkers are a random subsample."""
+
+    def sweep():
+        out = {}
+        for p in (0.0, 0.05, 0.2):
+            schedule = FaultSchedule(message_drop=MessageDrop(p))
+            result, log = run_frogwild_with_faults(
+                graph, schedule, _CONFIG, num_machines=_MACHINES
+            )
+            out[p] = (
+                normalized_mass_captured(
+                    result.estimate.vector(), truth, 100
+                ),
+                log.frogs_dropped_in_flight,
+            )
+        return out
+
+    out = run_once(benchmark, sweep)
+    assert out[0.0][1] == 0
+    assert out[0.05][1] < out[0.2][1]
+    assert out[0.2][0] > out[0.0][0] - 0.2
+    assert out[0.05][0] > out[0.0][0] - 0.08
+
+
+def test_rebirth_beats_plain_loss(benchmark, graph, truth):
+    """The uniform-rebirth recovery recovers mass a plain loss forfeits."""
+
+    def run_both():
+        out = {}
+        for rebirth in (True, False):
+            schedule = FaultSchedule(
+                crashes=(MachineCrash(step=1, machine=0, rebirth=rebirth),)
+            )
+            result, _ = run_frogwild_with_faults(
+                graph, schedule, _CONFIG, num_machines=_MACHINES
+            )
+            out[rebirth] = result.estimate.total_stopped
+        return out
+
+    stopped = run_once(benchmark, run_both)
+    assert stopped[True] == _CONFIG.num_frogs
+    assert stopped[False] < _CONFIG.num_frogs
+
+
+def test_partial_sync_mitigates_straggler(benchmark, graph):
+    """With one 8x-slow machine, ps=0.2 recovers a large share of the
+    wall-clock lost to the straggler at ps=1 — the partial-sync patch
+    hands the slow machine proportionally less sync traffic."""
+
+    def sweep():
+        times = {}
+        slowdowns = tuple(
+            8.0 if m == 0 else 1.0 for m in range(_MACHINES)
+        )
+        for label, cost_model in (
+            ("healthy", StragglerCostModel(slowdowns=(1.0,) * _MACHINES)),
+            ("straggler", StragglerCostModel(slowdowns=slowdowns)),
+        ):
+            for ps in (1.0, 0.2):
+                result = run_frogwild(
+                    graph,
+                    _CONFIG.with_updates(ps=ps),
+                    num_machines=_MACHINES,
+                    cost_model=cost_model,
+                )
+                times[label, ps] = result.report.total_time_s
+        return times
+
+    times = run_once(benchmark, sweep)
+    # The straggler hurts at full sync.
+    assert times["straggler", 1.0] > times["healthy", 1.0]
+    # Partial sync claws back a large share of the straggler penalty.
+    straggler_penalty_full = times["straggler", 1.0] - times["healthy", 1.0]
+    straggler_penalty_partial = times["straggler", 0.2] - times["healthy", 0.2]
+    assert straggler_penalty_partial < straggler_penalty_full
+    assert times["straggler", 0.2] < times["straggler", 1.0]

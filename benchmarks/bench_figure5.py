@@ -1,0 +1,47 @@
+"""Figure 5: FrogWild vs uniform sparsification (Twitter, 12 nodes).
+
+Paper: GraphLab PR (2 iterations) on a graph whose edges were deleted
+independently with probability r = 1 - q achieves comparable accuracy
+but significantly worse running time than FrogWild.
+"""
+
+from conftest import run_once, write_figure_text
+from repro.experiments import figure5
+
+_CACHE = {}
+
+
+def _result(workload):
+    if "fig5" not in _CACHE:
+        _CACHE["fig5"] = figure5(workload, seed=0)
+    return _CACHE["fig5"]
+
+
+def test_fig5_sparsified_baseline(benchmark, tw_workload):
+    result = run_once(benchmark, lambda: _result(tw_workload))
+    write_figure_text(result)
+    sparse = result.series("Sparsified")
+    frog = result.series("FrogWild")
+    assert len(sparse) == 3 and len(frog) == 3
+
+    # Accuracy comparable: both families capture > 0.9 at k=100.
+    for row in sparse + frog:
+        assert row.mass_captured[100] > 0.9
+
+    # FrogWild wins on running time against every sparsified setting.
+    slowest_frog = max(r.total_time_s for r in frog)
+    fastest_sparse = min(r.total_time_s for r in sparse)
+    assert slowest_frog < fastest_sparse, (
+        f"FrogWild {slowest_frog:.3f}s vs sparsified {fastest_sparse:.3f}s"
+    )
+
+
+def test_fig5_sparsification_accuracy_monotone(benchmark, tw_workload):
+    result = run_once(benchmark, lambda: _result(tw_workload))
+    sparse = sorted(result.series("Sparsified"), key=lambda r: r.params["q"])
+    # Keeping more edges cannot hurt accuracy (weakly monotone).
+    masses = [r.mass_captured[100] for r in sparse]
+    assert masses[-1] >= masses[0] - 0.01
+    # And deleting edges reduces traffic.
+    nbytes = [r.network_bytes for r in sparse]
+    assert nbytes[0] < nbytes[-1]

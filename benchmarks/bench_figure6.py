@@ -1,0 +1,95 @@
+"""Figure 6 (a-d): walker and iteration sweeps (LiveJournal, 20 nodes).
+
+Paper: accuracy improves with the number of initial walkers (6a) and
+with iterations, saturating around 4 (6b); total time grows mildly with
+both (6c/6d); 800K walkers with 4 iterations is the sweet spot; GL PR 1
+iter is below the well-provisioned FrogWild settings while GL PR exact
+is far slower than everything.
+"""
+
+import numpy as np
+
+from conftest import by_algorithm, run_once, write_figure_text
+from repro.experiments import figure6
+
+_CACHE = {}
+
+
+def _result(workload):
+    if "fig6" not in _CACHE:
+        _CACHE["fig6"] = figure6(workload, seed=0)
+    return _CACHE["fig6"]
+
+
+def _frog_sweep(result, ps):
+    """Rows of the 6a/6c sweep: iterations=4, one row per frog count.
+
+    The iteration sweep re-runs the default frog count at 4 iterations,
+    so duplicates (identical params, same seed) are collapsed.
+    """
+    rows = {}
+    for r in result.rows:
+        if (
+            r.algorithm == f"FrogWild ps={ps:g}"
+            and r.params["iterations"] == 4
+        ):
+            rows.setdefault(r.params["num_frogs"], r)
+    return [rows[f] for f in sorted(rows)]
+
+
+def _iter_sweep(result, ps, default_frogs):
+    """Rows of the 6b/6d sweep: default frogs, one row per iteration."""
+    rows = {}
+    for r in result.rows:
+        if (
+            r.algorithm == f"FrogWild ps={ps:g}"
+            and r.params["num_frogs"] == default_frogs
+        ):
+            rows.setdefault(r.params["iterations"], r)
+    return [rows[i] for i in sorted(rows)]
+
+
+def test_fig6a_accuracy_vs_walkers(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    write_figure_text(result)
+    for ps in (1.0, 0.4):
+        sweep = _frog_sweep(result, ps)
+        assert len(sweep) == 6
+        masses = [r.mass_captured[100] for r in sweep]
+        # More walkers help: best-provisioned beats least-provisioned.
+        assert masses[-1] > masses[0] - 0.01
+        assert max(masses) == max(
+            masses[i] for i in range(2, 6)
+        ), "accuracy peak should not sit at the lowest walker counts"
+
+
+def test_fig6b_accuracy_vs_iterations(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    frogs = lj_workload.default_frogs
+    for ps in (1.0, 0.7):
+        sweep = _iter_sweep(result, ps, frogs)
+        assert len(sweep) == 5  # iterations 2..6
+        masses = [r.mass_captured[100] for r in sweep]
+        # 2 iterations is clearly undermixed; 4+ saturates.
+        assert masses[0] < max(masses[2:]) + 1e-9
+        assert max(masses[2:]) > 0.9
+
+
+def test_fig6c_time_vs_walkers(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    sweep = _frog_sweep(result, 1.0)
+    times = [r.total_time_s for r in sweep]
+    # Time grows with walkers, but sublinearly (messages combine).
+    assert times[-1] > times[0]
+    frogs = [r.params["num_frogs"] for r in sweep]
+    assert times[-1] / times[0] < frogs[-1] / frogs[0]
+
+
+def test_fig6d_time_vs_iterations(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    exact = by_algorithm(result, "GraphLab PR exact")
+    sweep = _iter_sweep(result, 1.0, lj_workload.default_frogs)
+    times = [r.total_time_s for r in sweep]
+    assert np.all(np.diff(times) > 0), "each iteration adds time"
+    # Even 6 FrogWild iterations stay far below GraphLab PR exact.
+    assert times[-1] * 4 < exact.total_time_s

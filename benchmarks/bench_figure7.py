@@ -1,0 +1,46 @@
+"""Figure 7 (a/b): accuracy vs time / network on LiveJournal (20 nodes).
+
+The Figure 3 trade-off analysis on the second dataset.  Paper: the
+algorithm is faster and uses much less network while maintaining good
+accuracy; conclusions transfer across the order-of-magnitude size gap
+between the two graphs.
+"""
+
+from conftest import by_algorithm, run_once, write_figure_text
+from repro.experiments import figure7, pareto_front
+
+_CACHE = {}
+
+
+def _result(workload):
+    if "fig7" not in _CACHE:
+        _CACHE["fig7"] = figure7(workload, seed=0)
+    return _CACHE["fig7"]
+
+
+def test_fig7a_accuracy_vs_time(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    write_figure_text(result)
+    exact = by_algorithm(result, "GraphLab PR exact")
+    one = by_algorithm(result, "GraphLab PR 1 iters")
+    frows = [r for r in result.rows if r.algorithm.startswith("FrogWild")]
+
+    dominators = [
+        r
+        for r in frows
+        if r.mass_captured[100] >= one.mass_captured[100]
+        and r.total_time_s < one.total_time_s * 1.2
+    ]
+    assert dominators, "no FrogWild point competitive with GL PR 1 iter"
+    for row in frows:
+        assert row.total_time_s * 4 < exact.total_time_s
+
+
+def test_fig7b_accuracy_vs_network(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    exact = by_algorithm(result, "GraphLab PR exact")
+    frows = [r for r in result.rows if r.algorithm.startswith("FrogWild")]
+    for row in frows:
+        assert row.network_bytes * 5 < exact.network_bytes
+    front = pareto_front(result.rows, cost_attr="network_bytes", k=100)
+    assert any(r.algorithm.startswith("FrogWild") for r in front)

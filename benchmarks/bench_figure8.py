@@ -1,0 +1,38 @@
+"""Figure 8: network usage vs number of initial walkers (LiveJournal).
+
+Paper: traffic grows linearly in the number of walkers at ps=1 —
+the basis for the claim that o(n) walkers buy an o(n) network bill.
+"""
+
+import numpy as np
+
+from conftest import run_once, write_figure_text
+from repro.experiments import figure8
+
+_CACHE = {}
+
+
+def _result(workload):
+    if "fig8" not in _CACHE:
+        _CACHE["fig8"] = figure8(workload, seed=0)
+    return _CACHE["fig8"]
+
+
+def test_fig8_network_vs_walkers(benchmark, lj_workload):
+    result = run_once(benchmark, lambda: _result(lj_workload))
+    write_figure_text(result)
+    rows = sorted(result.rows, key=lambda r: r.params["num_frogs"])
+    frogs = np.array([r.params["num_frogs"] for r in rows], dtype=float)
+    nbytes = np.array([r.network_bytes for r in rows], dtype=float)
+
+    # Strictly increasing.
+    assert np.all(np.diff(nbytes) > 0)
+
+    # Near-linear: a straight-line fit explains almost all variance.
+    slope, intercept = np.polyfit(frogs, nbytes, 1)
+    predicted = slope * frogs + intercept
+    ss_res = float(((nbytes - predicted) ** 2).sum())
+    ss_tot = float(((nbytes - nbytes.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot
+    assert r_squared > 0.97, f"R^2 = {r_squared:.4f}"
+    assert slope > 0

@@ -1,0 +1,68 @@
+"""Generality of the ps patch: gossip on the patched engine.
+
+Section 3.3 of the paper: "any random walk or 'gossip' style algorithm
+(that sends a single message to a random subset of its neighbors) can
+benefit by exploiting ps".  This bench runs push-gossip to 90% coverage
+on the largest SCC of the Twitter workload and checks the trade-off:
+lower ps cuts per-round synchronization traffic, the rumor still
+completes, and the total-byte bill at moderate ps undercuts stock
+full synchronization.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import run_gossip
+from repro.graph import largest_scc, twitter_like
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="module")
+def scc():
+    if "scc" not in _CACHE:
+        _CACHE["scc"] = largest_scc(twitter_like(n=20_000, seed=5))
+    return _CACHE["scc"]
+
+
+def test_gossip_ps_tradeoff(benchmark, scc):
+    def run_all():
+        return {
+            ps: run_gossip(
+                scc,
+                ps=ps,
+                target_fraction=0.9,
+                max_rounds=600,
+                num_machines=16,
+                seed=0,
+            )
+            for ps in (1.0, 0.5, 0.2)
+        }
+
+    results = run_once(benchmark, run_all)
+    for ps, result in results.items():
+        assert result.informed_fraction >= 0.9, f"ps={ps} failed to spread"
+
+    per_round = {
+        ps: r.report.network_bytes / r.rounds for ps, r in results.items()
+    }
+    assert per_round[0.2] < per_round[0.5] < per_round[1.0]
+
+    # Moderate ps also wins on the *total* bill despite extra rounds.
+    assert (
+        results[0.5].report.network_bytes
+        < results[1.0].report.network_bytes
+    )
+
+
+def test_gossip_rounds_grow_as_ps_shrinks(benchmark, scc):
+    def run_two():
+        return (
+            run_gossip(scc, ps=1.0, target_fraction=0.9, max_rounds=600,
+                       num_machines=16, seed=1),
+            run_gossip(scc, ps=0.1, target_fraction=0.9, max_rounds=600,
+                       num_machines=16, seed=1),
+        )
+
+    full, low = run_once(benchmark, run_two)
+    assert low.rounds > full.rounds

@@ -1,0 +1,114 @@
+"""Mixing-theory validation: why 3-5 supersteps are enough.
+
+The paper truncates every walk at t = 3-5 supersteps and leans on
+Lemma 14 (geometric chi-squared contraction at rate 1 - p_T) to bound
+the damage.  This bench checks the spectral story end to end on the
+calibrated workloads:
+
+* |lambda_2(Q)| <= 1 - p_T (the Haveliwala-Kamvar fact behind Lemma 14),
+* the empirical chi2 curve sits below the Lemma 14 envelope at every t,
+* the empirical TV mixing time at the paper's operating accuracy lands
+  inside the paper's 3-5 iteration range,
+* the Lemma 17 mixing-loss bound is *conservative*: actual mass lost to
+  truncation is far below the analytic ceiling.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import FrogWildConfig, run_frogwild
+from repro.graph import twitter_like
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import exact_pagerank
+from repro.theory import (
+    chi2_mixing_bound,
+    chi2_mixing_curve,
+    empirical_mixing_time,
+    mixing_loss_bound,
+    second_eigenvalue,
+    tv_mixing_curve,
+)
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    if "graph" not in _CACHE:
+        # Small enough for dense eigendecomposition, same generator
+        # family as the figure workloads.
+        _CACHE["graph"] = twitter_like(n=1_500, seed=5)
+    return _CACHE["graph"]
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    if "truth" not in _CACHE:
+        _CACHE["truth"] = exact_pagerank(graph)
+    return _CACHE["truth"]
+
+
+def test_spectral_gap_bound(benchmark, graph):
+    """|lambda_2(Q)| <= 1 - p_T, with real slack on power-law graphs."""
+
+    def compute():
+        return second_eigenvalue(graph, p_teleport=0.15)
+
+    lam2 = run_once(benchmark, compute)
+    assert lam2 <= 0.85 + 1e-9
+    assert lam2 > 0.0
+
+
+def test_chi2_curve_below_lemma14(benchmark, graph):
+    """Empirical chi2(pi_t; pi) under the analytic envelope for all t."""
+
+    def compute():
+        return chi2_mixing_curve(graph, 10)
+
+    curve = run_once(benchmark, compute)
+    for t, value in enumerate(curve):
+        assert value <= chi2_mixing_bound(0.15, t) + 1e-9
+
+
+def test_mixing_time_in_paper_range(benchmark, graph):
+    """TV(pi_t, pi) <= 5% within the paper's 3-5 supersteps."""
+
+    def compute():
+        return empirical_mixing_time(graph, epsilon=0.05)
+
+    t_mix = run_once(benchmark, compute)
+    assert t_mix <= 5
+
+
+def test_lemma17_is_conservative(benchmark, graph, truth):
+    """Actual truncation loss at t=4 is far below the Lemma 17 bound
+    (the bound must hold, and its slack explains why tiny t works)."""
+
+    def run():
+        result = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=60_000, iterations=4, seed=0),
+            num_machines=8,
+        )
+        return normalized_mass_captured(
+            result.estimate.vector(), truth, 100
+        )
+
+    captured = run_once(benchmark, run)
+    bound = mixing_loss_bound(0.15, 4)
+    actual_loss = 1.0 - captured
+    assert actual_loss <= bound
+    assert actual_loss < bound / 2
+
+
+def test_tv_curve_geometric_tail(benchmark, graph):
+    """Past the first step the TV curve contracts at least at the
+    spectral rate (1 - p_T) per step."""
+
+    def compute():
+        return tv_mixing_curve(graph, 8)
+
+    curve = run_once(benchmark, compute)
+    for earlier, later in zip(curve[1:], curve[2:]):
+        if earlier > 1e-12:
+            assert later <= earlier * 0.85 + 1e-12

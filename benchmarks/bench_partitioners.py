@@ -1,0 +1,141 @@
+"""Ingress-strategy ablation across all four vertex-cut partitioners.
+
+PowerGraph's ingress choice determines the replication factor λ, and λ
+multiplies every synchronization barrier's traffic — the exact quantity
+FrogWild's ``ps`` patch attacks.  This bench quantifies, on the
+calibrated Twitter-like workload:
+
+* λ per partitioner (random ≫ grid > oblivious ≈ hdrf expected order),
+* the grid's hard replication cap (rows + cols - 1),
+* downstream FrogWild network bytes per ingress,
+* edge-load balance (random best, constrained strategies close).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.cluster import ReplicationTable, grid_shape, make_partitioner
+from repro.core import FrogWildConfig, run_frogwild
+from repro.engine import build_cluster
+from repro.graph import twitter_like
+
+_CACHE = {}
+_STRATEGIES = ("random", "oblivious", "grid", "hdrf")
+_MACHINES = 16
+
+
+@pytest.fixture(scope="module")
+def graph():
+    if "graph" not in _CACHE:
+        _CACHE["graph"] = twitter_like(n=20_000, seed=5)
+    return _CACHE["graph"]
+
+
+@pytest.fixture(scope="module")
+def partitions(graph):
+    if "partitions" not in _CACHE:
+        _CACHE["partitions"] = {
+            name: make_partitioner(name, seed=0).partition(graph, _MACHINES)
+            for name in _STRATEGIES
+        }
+    return _CACHE["partitions"]
+
+
+def test_replication_factor_ordering(benchmark, graph, partitions):
+    """Constrained/greedy ingress beats random on replication factor."""
+
+    def build_tables():
+        return {
+            name: ReplicationTable(graph, part)
+            for name, part in partitions.items()
+        }
+
+    tables = run_once(benchmark, build_tables)
+    _CACHE["tables"] = tables
+    rf = {name: table.replication_factor() for name, table in tables.items()}
+    assert rf["oblivious"] < rf["random"]
+    assert rf["grid"] < rf["random"]
+    assert rf["hdrf"] < rf["random"]
+    # All strategies replicate at least once (λ >= 1 by definition).
+    assert all(value >= 1.0 for value in rf.values())
+
+
+def test_grid_cap_binds(benchmark, graph, partitions):
+    """Grid ingress caps per-vertex replicas at rows + cols - 1; the
+    unconstrained strategies exceed that cap on hub vertices."""
+
+    def build():
+        return (
+            ReplicationTable(graph, partitions["grid"]),
+            ReplicationTable(graph, partitions["random"]),
+        )
+
+    grid_table, random_table = run_once(benchmark, build)
+    rows, cols = grid_shape(_MACHINES)
+    cap = rows + cols - 1
+    assert grid_table.replica_counts.max() <= cap
+    assert random_table.replica_counts.max() > cap
+
+
+def test_downstream_frogwild_traffic(benchmark, graph, partitions):
+    """Lower λ means fewer mirrors to sync: FrogWild network bytes
+    follow the replication-factor ordering."""
+
+    def run_all():
+        results = {}
+        for name, part in partitions.items():
+            state = build_cluster(
+                graph, _MACHINES, seed=0, partition=part
+            )
+            results[name] = run_frogwild(
+                graph,
+                FrogWildConfig(num_frogs=12_000, iterations=4, seed=0),
+                state=state,
+            )
+        return results
+
+    results = run_once(benchmark, run_all)
+    net = {name: r.report.network_bytes for name, r in results.items()}
+    assert net["oblivious"] < net["random"]
+    assert net["grid"] < net["random"]
+    assert net["hdrf"] < net["random"]
+    # Every ingress conserves the frogs regardless of placement.
+    assert all(
+        r.estimate.total_stopped == 12_000 for r in results.values()
+    )
+
+
+def test_load_balance_tradeoff(benchmark, graph, partitions):
+    """Random ingress is the balance gold standard; constrained
+    strategies stay within a modest imbalance factor of it."""
+
+    def imbalances():
+        return {
+            name: part.load_imbalance() for name, part in partitions.items()
+        }
+
+    imbalance = run_once(benchmark, imbalances)
+    assert imbalance["random"] < 1.1
+    assert all(value < 2.0 for value in imbalance.values())
+
+
+def test_hdrf_concentrates_replication_on_hubs(benchmark, graph, partitions):
+    """HDRF's design goal: hubs carry the replication, tails stay compact
+    — strictly more skew than random placement produces."""
+
+    def skew(table):
+        degree = np.asarray(graph.out_degree()) + np.asarray(graph.in_degree())
+        hubs = np.argsort(degree)[-100:]
+        tail = np.argsort(degree)[: graph.num_vertices // 2]
+        counts = table.replica_counts
+        return counts[hubs].mean() / max(counts[tail].mean(), 1.0)
+
+    def build():
+        return (
+            skew(ReplicationTable(graph, partitions["hdrf"])),
+            skew(ReplicationTable(graph, partitions["random"])),
+        )
+
+    hdrf_skew, random_skew = run_once(benchmark, build)
+    assert hdrf_skew > random_skew

@@ -1,0 +1,103 @@
+"""Generator robustness: do the headline shapes survive a different
+graph family?
+
+Our Twitter/LiveJournal stand-ins come from one generative process
+(directed preferential attachment).  If the reproduced figure shapes
+depended on that process's quirks — e.g. its in-degree/PageRank
+correlation — the reproduction would be fragile.  This bench replays
+the core Figure 1/2 claims on a Graph500-style R-MAT graph, whose
+recursive-quadrant construction has very different structure, and
+checks the same orderings hold:
+
+* FrogWild beats GraphLab PR exact on time and network (Fig. 1 shape);
+* network falls monotonically with ps (the patch works);
+* FrogWild stays within a few points of GL PR 1 iteration on mass
+  captured at a fraction of its cost.
+
+One *finding* rather than assertion: on R-MAT the GL-1-iteration
+baseline is nearly perfect (0.997 mass) because R-MAT's shallow
+recursive structure makes in-degree ≈ PageRank — so Figure 2's
+"FrogWild beats GL1 on accuracy" ordering is dataset-dependent; the
+paper's real graphs (and our preferential-attachment stand-ins with
+heavy out-degrees) have the deeper rank propagation that makes one
+iteration insufficient.  The *cost* orderings are generator-invariant.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import ExperimentHarness, rmat_workload
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="module")
+def harness():
+    if "harness" not in _CACHE:
+        _CACHE["harness"] = ExperimentHarness(
+            rmat_workload(scale=14, edge_factor=12), seed=0
+        )
+    return _CACHE["harness"]
+
+
+@pytest.fixture(scope="module")
+def rows(harness):
+    if "rows" not in _CACHE:
+        rows = {
+            "exact": harness.run_graphlab(tolerance=1e-6, ks=(100,)),
+            "gl1": harness.run_graphlab(iterations=1, ks=(100,)),
+            "gl2": harness.run_graphlab(iterations=2, ks=(100,)),
+        }
+        # Keep frogs sublinear in the 16k-vertex R-MAT graph (the
+        # paper's regime): 0.5 frogs/vertex, not the Twitter default.
+        for ps in (1.0, 0.7, 0.4, 0.1):
+            rows[f"fw{ps:g}"] = harness.run_frogwild(
+                ks=(100,), ps=ps, num_frogs=8_000
+            )
+        _CACHE["rows"] = rows
+    return _CACHE["rows"]
+
+
+def test_figure1_shape_holds_on_rmat(benchmark, rows):
+    """FrogWild ≪ GL PR exact on total time and network bytes."""
+
+    def collect():
+        return rows
+
+    rows = run_once(benchmark, collect)
+    exact = rows["exact"]
+    for ps in (1.0, 0.1):
+        frog = rows[f"fw{ps:g}"]
+        assert frog.total_time_s * 3 < exact.total_time_s
+        assert frog.network_bytes * 5 < exact.network_bytes
+
+
+def test_network_monotone_in_ps_on_rmat(benchmark, rows):
+    def collect():
+        return rows
+
+    rows = run_once(benchmark, collect)
+    bytes_by_ps = [
+        rows[f"fw{ps:g}"].network_bytes for ps in (1.0, 0.7, 0.4, 0.1)
+    ]
+    assert all(b > a for a, b in zip(bytes_by_ps[1:], bytes_by_ps))
+
+
+def test_accuracy_competitive_on_rmat(benchmark, rows):
+    """FrogWild lands within a few points of GL PR 1 iteration at a
+    fraction of the cost.  (On R-MAT, GL1 is nearly perfect — see the
+    module docstring for why the accuracy *ordering* is dataset-
+    dependent while the cost orderings are not.)"""
+
+    def collect():
+        return rows
+
+    rows = run_once(benchmark, collect)
+    gl1 = rows["gl1"]
+    for ps in (1.0, 0.7, 0.4, 0.1):
+        frog = rows[f"fw{ps:g}"]
+        # Usable accuracy at sublinear frogs; on R-MAT GL1 is nearly
+        # exact (in-degree ~ PageRank), so no relative-ordering claim.
+        assert frog.mass_captured[100] > 0.85
+        # Cost domination is generator-invariant.
+        assert frog.network_bytes < gl1.network_bytes

@@ -1,0 +1,61 @@
+"""Theory validation benchmarks (Theorems 1-2 at workload scale).
+
+Not a paper figure, but the analytical half of the paper's contribution:
+these verify, on the calibrated workloads, that the Theorem 2 bound on
+the intersection probability holds and that the Theorem 1 guarantee is
+met by the running system.
+"""
+
+from conftest import run_once
+from repro.core import FrogWildConfig, run_frogwild
+from repro.metrics import normalized_mass_captured, optimal_mass
+from repro.theory import (
+    empirical_intersection_probability,
+    intersection_probability_bound,
+    theorem1_epsilon,
+)
+
+_CACHE = {}
+
+
+def test_theorem2_bound_at_scale(benchmark, tw_workload):
+    graph = tw_workload.graph
+    truth = tw_workload.truth
+    t = 4
+
+    def measure():
+        return empirical_intersection_probability(
+            graph, t, trials=4000, seed=0
+        )
+
+    observed = run_once(benchmark, measure)
+    bound = intersection_probability_bound(
+        graph.num_vertices, t, float(truth.max())
+    )
+    assert observed <= bound + 0.01, f"p_meet {observed:.4f} > bound {bound:.4f}"
+
+
+def test_theorem1_guarantee_at_scale(benchmark, tw_workload):
+    graph = tw_workload.graph
+    truth = tw_workload.truth
+    k, t, frogs, ps = 100, 4, tw_workload.default_frogs, 0.7
+
+    def run():
+        return run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=frogs, iterations=t, ps=ps, seed=0),
+            num_machines=16,
+        )
+
+    result = run_once(benchmark, run)
+    mu_opt = optimal_mass(truth, k)
+    captured = mu_opt * normalized_mass_captured(
+        result.estimate.vector(), truth, k
+    )
+    p_meet = intersection_probability_bound(
+        graph.num_vertices, t, float(truth.max())
+    )
+    eps = theorem1_epsilon(k, 0.1, frogs, ps, t, p_meet)
+    assert captured >= mu_opt - eps, (
+        f"captured {captured:.4f} < mu_k - eps = {mu_opt - eps:.4f}"
+    )

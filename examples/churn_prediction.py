@@ -1,0 +1,55 @@
+"""OSN key-user prediction (paper Section 1, third application).
+
+Following Heidemann et al. (the paper's reference [19]): rank users by
+PageRank on a *mixture* of the friendship (connectivity) graph and the
+recent-interaction (activity) graph, and use the top-k as a prediction
+of who stays active.  Because the activity graph churns, the ranking
+must be recomputed frequently — the setting where FrogWild's speed
+matters most.
+
+Usage::
+
+    python examples/churn_prediction.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    generate_social_network,
+    prediction_precision,
+    rank_key_users,
+)
+
+
+def main() -> None:
+    print("Synthesizing a social network (4,000 users)...")
+    network = generate_social_network(
+        num_users=4_000, interactions=60_000, seed=7
+    )
+    print(f"  connectivity: {network.connectivity.num_edges:,} friendships")
+    print(f"  activity    : {network.activity.num_edges:,} interaction pairs")
+
+    k = 400
+    actual = network.future_active_users(fraction=0.1, seed=99)
+    print(f"\nGround truth: {actual.size} users stay highly active "
+          f"(base rate {actual.size / network.num_users:.1%}).")
+
+    print(f"\nPrecision of top-{k} key-user predictions:")
+    for weight in (0.0, 0.3, 0.7, 1.0):
+        predicted = rank_key_users(
+            network, k=k, activity_weight=weight, seed=0
+        )
+        precision = prediction_precision(predicted, actual)
+        print(f"  activity weight {weight:.1f} : {precision:6.1%}")
+
+    # Degree baseline for context.
+    in_degree = np.asarray(network.connectivity.in_degree())
+    by_degree = np.argsort(-in_degree)[:k]
+    print(f"  in-degree baseline  : "
+          f"{prediction_precision(by_degree, actual):6.1%}")
+    print("\nMixing activity into the ranking graph improves churn "
+          "prediction, as reported by the paper's reference [19].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""FrogWild under machine crashes, lossy transport and stragglers.
+
+Anonymous, uniformly-born walkers make FrogWild naturally robust: a
+crash wipes a random subsample of frogs, which barely moves the top-k
+estimate — and the lost walkers can be reborn uniformly without biasing
+the answer.  This example injects each failure mode and reports the
+accuracy and time impact.
+
+Usage::
+
+    python examples/fault_tolerant_ranking.py
+"""
+
+from repro import (
+    FrogWildConfig,
+    exact_pagerank,
+    normalized_mass_captured,
+    run_frogwild,
+    twitter_like,
+)
+from repro.faults import (
+    FaultSchedule,
+    MachineCrash,
+    MessageDrop,
+    StragglerCostModel,
+    run_frogwild_with_faults,
+)
+
+MACHINES = 8
+CONFIG = FrogWildConfig(num_frogs=16_000, iterations=4, seed=0)
+
+
+def main() -> None:
+    k = 50
+    print("Generating a Twitter-like graph (15,000 vertices)...")
+    graph = twitter_like(n=15_000, seed=5)
+    truth = exact_pagerank(graph)
+
+    def accuracy(result):
+        return normalized_mass_captured(result.estimate.vector(), truth, k)
+
+    print(f"\n--- baseline ({MACHINES} machines, no faults) ---")
+    healthy = run_frogwild(graph, CONFIG, num_machines=MACHINES)
+    print(f"mass captured (k={k}): {accuracy(healthy):.4f}")
+
+    print("\n--- one machine crashes at superstep 1 (frogs reborn) ---")
+    schedule = FaultSchedule(
+        crashes=(MachineCrash(step=1, machine=0, rebirth=True),)
+    )
+    crashed, log = run_frogwild_with_faults(
+        graph, schedule, CONFIG, num_machines=MACHINES
+    )
+    print(f"frogs lost/reborn     : {log.frogs_lost_to_crashes:,}")
+    print(f"mass captured (k={k}): {accuracy(crashed):.4f}")
+
+    print("\n--- 10% of in-flight frog messages dropped ---")
+    schedule = FaultSchedule(message_drop=MessageDrop(0.1))
+    lossy, log = run_frogwild_with_faults(
+        graph, schedule, CONFIG, num_machines=MACHINES
+    )
+    print(f"frogs dropped in-flight: {log.frogs_dropped_in_flight:,}")
+    print(f"frogs still counted    : {lossy.estimate.total_stopped:,}"
+          f" / {CONFIG.num_frogs:,}")
+    print(f"mass captured (k={k}) : {accuracy(lossy):.4f}")
+
+    print("\n--- one 8x straggler: partial sync claws back time ---")
+    slowdowns = tuple(8.0 if m == 0 else 1.0 for m in range(MACHINES))
+    for ps in (1.0, 0.2):
+        result = run_frogwild(
+            graph,
+            CONFIG.with_updates(ps=ps),
+            num_machines=MACHINES,
+            cost_model=StragglerCostModel(slowdowns=slowdowns),
+        )
+        print(
+            f"ps={ps:<4} : {result.report.total_time_s:.3f} simulated s, "
+            f"mass {accuracy(result):.4f}"
+        )
+    print("\nLower ps hands the straggler less sync work: wall-clock "
+          "recovers while accuracy stays usable.")
+
+
+if __name__ == "__main__":
+    main()

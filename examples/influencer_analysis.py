@@ -1,0 +1,56 @@
+"""Telecom influencer analysis (paper Section 1, first application).
+
+A telecom wants to spend a limited retention budget on its most
+influential customers.  This example synthesizes a call-detail-record
+graph, identifies the top-k influencers with FrogWild, and shows that a
+loyalty campaign seeded at those customers reaches far more of the
+network than random or highest-degree seeding.
+
+Usage::
+
+    python examples/influencer_analysis.py
+"""
+
+import numpy as np
+
+from repro.apps import campaign_reach, find_influencers, generate_call_graph
+
+
+def main() -> None:
+    print("Synthesizing a call graph (8,000 customers, 120,000 calls)...")
+    graph = generate_call_graph(
+        num_customers=8_000, num_calls=120_000, seed=42
+    )
+    print(f"  {graph.num_vertices:,} customers, "
+          f"{graph.num_edges:,} distinct call relationships")
+
+    budget = 50  # customers the campaign can afford
+    print(f"\nIdentifying the top-{budget} influencers with FrogWild...")
+    report = find_influencers(graph, k=budget)
+    print(f"  simulated time   : {report.total_time_s:.3f} s")
+    print(f"  network traffic  : {report.network_bytes:,} bytes")
+    print("  top-10 customers :")
+    for customer, score in report.top(10):
+        print(f"    customer {customer:>5}  influence {score:.4f}")
+
+    # Compare three seeding strategies on 2-hop campaign reach.
+    rng = np.random.default_rng(0)
+    random_seeds = rng.choice(graph.num_vertices, size=budget, replace=False)
+    out_degree = np.asarray(graph.out_degree())
+    loudest = np.argsort(-out_degree)[:budget]  # most outgoing calls
+
+    strategies = {
+        "FrogWild top-PageRank": report.influencers,
+        "highest out-degree": loudest,
+        "random customers": random_seeds,
+    }
+    for hops in (1, 2):
+        print(f"\n{hops}-hop campaign reach by seeding strategy "
+              f"(budget {budget}):")
+        for name, seeds in strategies.items():
+            reach = campaign_reach(graph, seeds, hops=hops)
+            print(f"  {name:<24}: {reach:6.1%} of the customer base")
+
+
+if __name__ == "__main__":
+    main()

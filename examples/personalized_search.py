@@ -1,0 +1,74 @@
+"""Personalized PageRank with FrogWild (the paper's Section 2.4 pointer).
+
+Global PageRank answers "who matters overall"; Personalized PageRank
+(PPR) answers "who matters *to these seeds*" — the basis of
+who-to-follow recommendation.  FrogWild extends to PPR by birthing the
+frogs on the seed set instead of uniformly (Lemma 16: the walk restarts
+at its birth law).  This example picks a random user, computes their
+PPR with both the exact solver and FrogWild, and contrasts the
+personalized ranking with the global one.
+
+Usage::
+
+    python examples/personalized_search.py
+"""
+
+import numpy as np
+
+from repro import (
+    FrogWildConfig,
+    exact_pagerank,
+    run_personalized_frogwild,
+    seed_distribution,
+    twitter_like,
+)
+from repro.metrics import normalized_mass_captured
+
+
+def main() -> None:
+    print("Generating a Twitter-like graph (8,000 users)...")
+    graph = twitter_like(n=8_000, seed=21)
+
+    user = 4321
+    seeds = np.array([user])
+    print(f"Personalizing for user {user} "
+          f"(follows {graph.out_degree(user)} accounts).")
+
+    personalization = seed_distribution(graph.num_vertices, seeds)
+    ppr_truth = exact_pagerank(graph, personalization=personalization)
+    global_truth = exact_pagerank(graph)
+
+    result = run_personalized_frogwild(
+        graph,
+        seeds,
+        FrogWildConfig(num_frogs=30_000, iterations=8, ps=0.7, seed=0),
+        num_machines=16,
+    )
+
+    k = 15
+    recommended = result.estimate.top_k(k)
+    mass = normalized_mass_captured(result.estimate.vector(), ppr_truth, k)
+    print(f"\nFrogWild PPR captured {mass:.1%} of the optimal top-{k} mass.")
+    print(f"simulated time: {result.report.total_time_s:.3f} s, "
+          f"network: {result.report.network_bytes:,} bytes")
+
+    global_rank = np.empty(graph.num_vertices, dtype=np.int64)
+    global_rank[np.argsort(-global_truth)] = np.arange(graph.num_vertices)
+
+    print(f"\ntop-{k} personalized recommendations "
+          "(vs. their global PageRank rank):")
+    for position, vertex in enumerate(recommended, start=1):
+        marker = " <- the seed" if vertex == user else ""
+        print(f"  #{position:>2}  user {vertex:>5}  "
+              f"(global rank {global_rank[vertex] + 1:>5}){marker}")
+
+    locals_found = int(
+        (global_rank[recommended] >= k).sum()
+    )
+    print(f"\n{locals_found}/{k} recommendations are NOT in the global "
+          f"top-{k}: personalization surfaces the seed's neighbourhood, "
+          "not just celebrities.")
+
+
+if __name__ == "__main__":
+    main()

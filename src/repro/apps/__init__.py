@@ -1,0 +1,39 @@
+"""Application scenarios from the paper's introduction."""
+
+from .osn import (
+    SocialNetwork,
+    generate_social_network,
+    mixture_graph,
+    prediction_precision,
+    rank_key_users,
+)
+from .telecom import (
+    InfluencerReport,
+    campaign_reach,
+    find_influencers,
+    generate_call_graph,
+)
+from .textrank import (
+    STOPWORDS,
+    Keyword,
+    build_cooccurrence_graph,
+    extract_keywords,
+    tokenize,
+)
+
+__all__ = [
+    "tokenize",
+    "build_cooccurrence_graph",
+    "extract_keywords",
+    "Keyword",
+    "STOPWORDS",
+    "generate_call_graph",
+    "find_influencers",
+    "campaign_reach",
+    "InfluencerReport",
+    "SocialNetwork",
+    "generate_social_network",
+    "mixture_graph",
+    "rank_key_users",
+    "prediction_precision",
+]

@@ -1,0 +1,150 @@
+"""Key-user identification in online social networks.
+
+The paper's third motivating application (Section 1, citing Heidemann,
+Klier & Probst, ICIS 2010): predict which users will remain active by
+running PageRank on a *mixture* of the connectivity graph (friendships)
+and the activity graph (recent interactions).  Because the activity
+graph churns constantly, the ranking must be recomputed often — which
+is why a fast top-k approximation beats the exact solver operationally.
+
+This module synthesizes the pair of graphs with a known per-user
+"engagement" ground truth, builds the mixture, ranks users with
+FrogWild, and evaluates how well the top-k predicts future activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import FrogWildConfig, run_frogwild
+from ..errors import ConfigError
+from ..graph import DiGraph, from_edges, livejournal_like
+
+__all__ = [
+    "SocialNetwork",
+    "generate_social_network",
+    "mixture_graph",
+    "rank_key_users",
+    "prediction_precision",
+]
+
+
+@dataclass(frozen=True)
+class SocialNetwork:
+    """Connectivity + activity graphs with latent engagement truth."""
+
+    connectivity: DiGraph
+    activity: DiGraph
+    engagement: np.ndarray  # latent per-user propensity in (0, 1]
+
+    @property
+    def num_users(self) -> int:
+        return self.connectivity.num_vertices
+
+    def future_active_users(
+        self, fraction: float = 0.05, seed: int | None = 1
+    ) -> np.ndarray:
+        """Simulate which users remain active next period.
+
+        Users stay active with probability proportional to engagement;
+        the top ``fraction`` of realized draws form the ground truth.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError("fraction must lie in (0, 1]")
+        rng = np.random.default_rng(seed)
+        realized = self.engagement * (0.5 + rng.random(self.num_users))
+        count = max(1, int(self.num_users * fraction))
+        return np.argsort(-realized, kind="stable")[:count]
+
+
+def generate_social_network(
+    num_users: int = 5_000,
+    interactions: int = 40_000,
+    seed: int | None = 0,
+) -> SocialNetwork:
+    """Synthesize a friendship graph plus an engagement-driven
+    activity graph over the same users.
+
+    Engagement follows a power law; interactions are sampled along
+    friendship edges with probability proportional to the *product* of
+    endpoint engagements, so the activity graph concentrates on engaged
+    users — the signal [19] exploits.
+    """
+    if num_users < 10:
+        raise ConfigError("need at least ten users")
+    rng = np.random.default_rng(seed)
+    connectivity = livejournal_like(n=num_users, seed=rng)
+    engagement = (1.0 - rng.random(num_users)) ** (-1.0 / 1.5)
+    engagement = engagement / engagement.max()
+
+    edges = connectivity.edge_array()
+    weight = engagement[edges[:, 0]] * engagement[edges[:, 1]]
+    prob = weight / weight.sum()
+    picks = rng.choice(edges.shape[0], size=interactions, p=prob)
+    activity = from_edges(edges[picks], num_vertices=num_users)
+    return SocialNetwork(connectivity, activity, engagement)
+
+
+def mixture_graph(
+    network: SocialNetwork, activity_weight: float = 0.7, seed: int | None = 0
+) -> DiGraph:
+    """Blend activity and connectivity edges into one ranking graph.
+
+    Following [19]'s mixture idea: each ranking edge comes from the
+    activity graph with probability ``activity_weight`` and from the
+    connectivity graph otherwise.  Sampled with replacement to the
+    connectivity graph's edge count so density stays comparable.
+    """
+    if not 0.0 <= activity_weight <= 1.0:
+        raise ConfigError("activity_weight must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    conn_edges = network.connectivity.edge_array()
+    act_edges = network.activity.edge_array()
+    total = conn_edges.shape[0]
+    take_activity = rng.random(total) < activity_weight
+    num_act = int(take_activity.sum())
+    rows = []
+    if num_act and act_edges.shape[0]:
+        rows.append(act_edges[rng.integers(0, act_edges.shape[0], size=num_act)])
+    num_conn = total - num_act
+    if num_conn:
+        rows.append(
+            conn_edges[rng.integers(0, conn_edges.shape[0], size=num_conn)]
+        )
+    mixed = np.concatenate(rows) if rows else conn_edges
+    return from_edges(mixed, num_vertices=network.num_users)
+
+
+def rank_key_users(
+    network: SocialNetwork,
+    k: int = 100,
+    activity_weight: float = 0.7,
+    config: FrogWildConfig | None = None,
+    num_machines: int = 8,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Top-k key users by FrogWild PageRank on the mixture graph."""
+    if k < 1:
+        raise ConfigError("k must be positive")
+    graph = mixture_graph(network, activity_weight, seed=seed)
+    if config is None:
+        config = FrogWildConfig(
+            num_frogs=max(2_000, network.num_users // 2),
+            iterations=5,
+            ps=0.7,
+            seed=seed if seed is not None else 0,
+        )
+    result = run_frogwild(graph, config, num_machines=num_machines)
+    return result.estimate.top_k(k)
+
+
+def prediction_precision(
+    predicted: np.ndarray, actual: np.ndarray
+) -> float:
+    """Fraction of predicted key users who were actually active."""
+    predicted = np.asarray(predicted)
+    if predicted.size == 0:
+        raise ConfigError("predicted set is empty")
+    return float(np.isin(predicted, actual).mean())

@@ -1,0 +1,511 @@
+"""Command-line interface: ``frogwild`` / ``python -m repro``.
+
+Subcommands
+-----------
+``figure N``
+    Re-run the reproduction of paper figure N (1–8) and print its rows;
+    optionally render an ASCII chart (``--render-x/--render-y``) and
+    save JSON/CSV.
+``run``
+    Run FrogWild (or a baseline) once on a workload or an edge-list
+    file and print the report plus the top-k vertices.
+``info``
+    Print workload statistics.
+``ppr``
+    Personalized PageRank for a seed set via seeded frog births.
+``adaptive``
+    Grow the frog budget until the top-k stabilizes (Remark 6).
+``track``
+    Track the top-k over a churning graph (the OSN scenario).
+``faults``
+    Run FrogWild under injected crashes / message loss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .core import FrogWildConfig, run_frogwild
+from .experiments import (
+    ALL_FIGURES,
+    livejournal_workload,
+    twitter_workload,
+)
+from .graph import read_edge_list, summarize
+from .metrics import exact_identification, normalized_mass_captured
+from .pagerank import exact_pagerank
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="frogwild",
+        description=(
+            "FrogWild! fast top-k PageRank approximation "
+            "(VLDB 2015 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="reproduce a paper figure")
+    fig.add_argument("number", choices=sorted(ALL_FIGURES))
+    fig.add_argument(
+        "--twitter-n", type=int, default=20_000,
+        help="vertices in the Twitter-like workload",
+    )
+    fig.add_argument(
+        "--livejournal-n", type=int, default=10_000,
+        help="vertices in the LiveJournal-like workload",
+    )
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument(
+        "--render-x", metavar="COLUMN",
+        help="render an ASCII chart with this row column on the x axis",
+    )
+    fig.add_argument(
+        "--render-y", metavar="COLUMN", default="mass@100",
+        help="y-axis column for --render-x (default: mass@100)",
+    )
+    fig.add_argument("--kind", choices=("scatter", "line"), default="scatter")
+    fig.add_argument("--log-x", action="store_true")
+    fig.add_argument("--log-y", action="store_true")
+    fig.add_argument("--save-json", metavar="PATH")
+    fig.add_argument("--save-csv", metavar="PATH")
+
+    run = sub.add_parser("run", help="run one algorithm once")
+    run.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    run.add_argument("--edge-list", help="SNAP edge-list file (overrides --workload)")
+    run.add_argument("--n", type=int, default=20_000, help="synthetic graph size")
+    run.add_argument(
+        "--algorithm",
+        choices=("frogwild", "graphlab", "graphlab-exact", "async"),
+        default="frogwild",
+    )
+    run.add_argument(
+        "--partitioner",
+        choices=("random", "oblivious", "grid", "hdrf"),
+        default="random",
+    )
+    run.add_argument("--frogs", type=int, default=None)
+    run.add_argument("--iterations", type=int, default=4)
+    run.add_argument("--ps", type=float, default=1.0)
+    run.add_argument("--machines", type=int, default=16)
+    run.add_argument("--top-k", type=int, default=10)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--accuracy", action="store_true",
+        help="also compute exact PageRank and report accuracy",
+    )
+
+    info = sub.add_parser("info", help="describe a workload graph")
+    info.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    info.add_argument("--edge-list")
+    info.add_argument("--n", type=int, default=20_000)
+
+    ppr = sub.add_parser(
+        "ppr", help="personalized PageRank for a seed set (FrogWild)"
+    )
+    ppr.add_argument("seeds", type=int, nargs="+", help="seed vertex ids")
+    ppr.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    ppr.add_argument("--edge-list")
+    ppr.add_argument("--n", type=int, default=20_000)
+    ppr.add_argument("--frogs", type=int, default=None)
+    ppr.add_argument("--iterations", type=int, default=8)
+    ppr.add_argument("--ps", type=float, default=1.0)
+    ppr.add_argument("--machines", type=int, default=16)
+    ppr.add_argument("--top-k", type=int, default=10)
+    ppr.add_argument("--seed", type=int, default=0)
+
+    adaptive = sub.add_parser(
+        "adaptive",
+        help="grow the frog budget until the top-k stabilizes (Remark 6)",
+    )
+    adaptive.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    adaptive.add_argument("--edge-list")
+    adaptive.add_argument("--n", type=int, default=20_000)
+    adaptive.add_argument("--k", type=int, default=100)
+    adaptive.add_argument("--pilot-frogs", type=int, default=2_000)
+    adaptive.add_argument("--max-frogs", type=int, default=500_000)
+    adaptive.add_argument("--ps", type=float, default=1.0)
+    adaptive.add_argument("--machines", type=int, default=16)
+    adaptive.add_argument("--seed", type=int, default=0)
+
+    track = sub.add_parser(
+        "track", help="track the top-k over a churning graph (OSN scenario)"
+    )
+    track.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    track.add_argument("--edge-list")
+    track.add_argument("--n", type=int, default=10_000)
+    track.add_argument("--k", type=int, default=20)
+    track.add_argument("--ticks", type=int, default=5)
+    track.add_argument("--add-rate", type=float, default=0.01)
+    track.add_argument("--remove-rate", type=float, default=0.01)
+    track.add_argument("--frogs", type=int, default=None)
+    track.add_argument("--iterations", type=int, default=4)
+    track.add_argument("--machines", type=int, default=8)
+    track.add_argument("--seed", type=int, default=0)
+
+    faults = sub.add_parser(
+        "faults", help="run FrogWild under injected crashes / message loss"
+    )
+    faults.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    faults.add_argument("--edge-list")
+    faults.add_argument("--n", type=int, default=20_000)
+    faults.add_argument(
+        "--crash", type=int, action="append", default=[],
+        metavar="MACHINE", help="crash this machine at superstep 1 (repeatable)",
+    )
+    faults.add_argument("--crash-step", type=int, default=1)
+    faults.add_argument(
+        "--no-rebirth", action="store_true",
+        help="lost frogs stay lost instead of being reborn uniformly",
+    )
+    faults.add_argument("--drop", type=float, default=0.0,
+                        help="in-flight frog loss probability")
+    faults.add_argument("--frogs", type=int, default=None)
+    faults.add_argument("--iterations", type=int, default=4)
+    faults.add_argument("--ps", type=float, default=1.0)
+    faults.add_argument("--machines", type=int, default=8)
+    faults.add_argument("--top-k", type=int, default=10)
+    faults.add_argument("--seed", type=int, default=0)
+
+    chart = sub.add_parser(
+        "chart", help="render a saved figure JSON as an ASCII chart"
+    )
+    chart.add_argument("path", help="file written by figure --save-json")
+    chart.add_argument("--x", default="total_time_s")
+    chart.add_argument("--y", default="mass@100")
+    chart.add_argument("--kind", choices=("scatter", "line"), default="scatter")
+    chart.add_argument("--log-x", action="store_true")
+    chart.add_argument("--log-y", action="store_true")
+    chart.add_argument("--width", type=int, default=72)
+    chart.add_argument("--height", type=int, default=20)
+    return parser
+
+
+def _load_graph(args):
+    if getattr(args, "edge_list", None):
+        return read_edge_list(args.edge_list)
+    if args.workload == "twitter":
+        return twitter_workload(n=args.n).graph
+    return livejournal_workload(n=args.n).graph
+
+
+def _cmd_figure(args) -> int:
+    if args.number in ("1", "2", "3", "4", "5"):
+        workload = twitter_workload(n=args.twitter_n)
+    else:
+        workload = livejournal_workload(n=args.livejournal_n)
+    start = time.perf_counter()
+    result = ALL_FIGURES[args.number](workload, seed=args.seed)
+    print(result.to_text())
+    print(f"(reproduced in {time.perf_counter() - start:.1f}s wall time)")
+    if args.render_x:
+        from .viz import figure_chart
+
+        print()
+        print(
+            figure_chart(
+                result,
+                x=args.render_x,
+                y=args.render_y,
+                kind=args.kind,
+                log_x=args.log_x,
+                log_y=args.log_y,
+            )
+        )
+    if args.save_json:
+        from .experiments import save_figure_json
+
+        print(f"saved JSON to {save_figure_json(result, args.save_json)}")
+    if args.save_csv:
+        from .experiments import save_rows_csv
+
+        print(f"saved CSV to {save_rows_csv(result.rows, args.save_csv)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = _load_graph(args)
+    frogs = args.frogs or max(2_000, graph.num_vertices // 2)
+    if args.algorithm == "frogwild":
+        config = FrogWildConfig(
+            num_frogs=frogs,
+            iterations=args.iterations,
+            ps=args.ps,
+            seed=args.seed,
+        )
+        result = run_frogwild(
+            graph,
+            config,
+            num_machines=args.machines,
+            partitioner=args.partitioner,
+        )
+        report = result.report
+        ranking = result.estimate.vector()
+        top = result.estimate.top_k(args.top_k)
+    elif args.algorithm == "async":
+        from .pagerank import async_pagerank
+
+        pr = async_pagerank(
+            graph,
+            num_machines=args.machines,
+            partitioner=args.partitioner,
+            seed=args.seed,
+        )
+        report = pr.report
+        ranking = pr.ranks
+        top = pr.top_k(args.top_k)
+    else:
+        from .pagerank import graphlab_pagerank
+
+        iterations = None if args.algorithm == "graphlab-exact" else args.iterations
+        pr = graphlab_pagerank(
+            graph,
+            num_machines=args.machines,
+            iterations=iterations,
+            partitioner=args.partitioner,
+            seed=args.seed,
+        )
+        report = pr.report
+        ranking = pr.ranks
+        top = pr.top_k(args.top_k)
+
+    print(f"algorithm        : {report.algorithm}")
+    print(f"machines         : {report.num_machines}")
+    print(f"supersteps       : {report.supersteps}")
+    print(f"total time (sim) : {report.total_time_s:.4f} s")
+    print(f"time/iteration   : {report.time_per_iteration_s:.4f} s")
+    print(f"network sent     : {report.network_bytes:,} bytes")
+    print(f"cpu usage        : {report.cpu_seconds:.4f} s")
+    print(f"top-{args.top_k} vertices  : {top.tolist()}")
+    if args.accuracy:
+        truth = exact_pagerank(graph)
+        mass = normalized_mass_captured(ranking, truth, max(args.top_k, 1))
+        exact = exact_identification(ranking, truth, max(args.top_k, 1))
+        print(f"mass captured    : {mass:.4f}")
+        print(f"exact id         : {exact:.4f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    graph = _load_graph(args)
+    summary = summarize(graph)
+    for key, value in summary.as_dict().items():
+        print(f"{key:26s}: {value}")
+    return 0
+
+
+def _cmd_ppr(args) -> int:
+    import numpy as np
+
+    from .core import run_personalized_frogwild
+
+    graph = _load_graph(args)
+    seeds = np.asarray(args.seeds, dtype=np.int64)
+    frogs = args.frogs or max(4_000, graph.num_vertices)
+    config = FrogWildConfig(
+        num_frogs=frogs,
+        iterations=args.iterations,
+        ps=args.ps,
+        seed=args.seed,
+    )
+    result = run_personalized_frogwild(
+        graph, seeds, config, num_machines=args.machines
+    )
+    top = result.estimate.top_k(args.top_k)
+    distribution = result.estimate.distribution()
+    print(f"personalized PageRank for seeds {seeds.tolist()}")
+    print(f"network sent     : {result.report.network_bytes:,} bytes")
+    print(f"total time (sim) : {result.report.total_time_s:.4f} s")
+    for position, vertex in enumerate(top, start=1):
+        print(f"  #{position:>2}  vertex {vertex:>7}  "
+              f"score {distribution[vertex]:.5f}")
+    return 0
+
+
+def _cmd_adaptive(args) -> int:
+    from .core import AdaptiveConfig, run_adaptive_frogwild
+    from .experiments import format_table
+
+    graph = _load_graph(args)
+    outcome = run_adaptive_frogwild(
+        graph,
+        AdaptiveConfig(
+            k=args.k,
+            pilot_frogs=args.pilot_frogs,
+            max_frogs=args.max_frogs,
+        ),
+        base_config=FrogWildConfig(ps=args.ps, seed=args.seed),
+        num_machines=args.machines,
+        seed=args.seed,
+    )
+    rows = [
+        {
+            "round": r.round_index,
+            "frogs": r.num_frogs,
+            "iters": r.iterations,
+            "mu_k (self)": r.mu_k_self_estimate,
+            "sep z": r.separation_z,
+            "jaccard": r.jaccard_with_previous,
+            "net bytes": r.network_bytes,
+            "time (s)": r.total_time_s,
+        }
+        for r in outcome.rounds
+    ]
+    print(format_table(rows, title=f"adaptive top-{args.k} schedule"))
+    print(f"converged              : {outcome.converged}")
+    print(f"Remark 6 target frogs  : {outcome.recommended_frogs:,}")
+    print(f"Remark 6 target iters  : {outcome.recommended_iterations}")
+    print(f"total frogs launched   : {outcome.total_frogs():,}")
+    print(f"total network          : {outcome.total_network_bytes():,} bytes")
+    print(f"top-{args.k}: {outcome.estimate.top_k(args.k).tolist()}")
+    return 0
+
+
+def _cmd_track(args) -> int:
+    from .dynamic import ChurnGenerator, DynamicDiGraph, PageRankTracker
+    from .experiments import format_table
+
+    base = _load_graph(args)
+    dynamic = DynamicDiGraph.from_digraph(base)
+    frogs = args.frogs or max(2_000, base.num_vertices)
+    tracker = PageRankTracker(
+        dynamic,
+        k=args.k,
+        config=FrogWildConfig(
+            num_frogs=frogs, iterations=args.iterations, seed=args.seed
+        ),
+        num_machines=args.machines,
+        seed=args.seed,
+    )
+    churn = ChurnGenerator(
+        add_rate=args.add_rate, remove_rate=args.remove_rate, seed=args.seed
+    )
+    for _ in range(args.ticks):
+        tracker.update(churn.step(dynamic))
+    rows = [
+        {
+            "tick": u.step,
+            "edges": u.num_edges,
+            "+edges": u.edges_added,
+            "-edges": u.edges_removed,
+            "jaccard": u.jaccard_vs_previous,
+            "ingress": u.new_edge_placements,
+            "net bytes": u.network_bytes,
+            "time (s)": u.total_time_s,
+        }
+        for u in tracker.history
+    ]
+    print(format_table(rows, title=f"top-{args.k} tracking under churn"))
+    print(f"list stability     : {tracker.churn_stability():.3f}")
+    print(f"total network      : {tracker.total_network_bytes():,} bytes")
+    print(f"current top-{args.k}: {tracker.current_top_k.tolist()}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from .faults import (
+        FaultSchedule,
+        MachineCrash,
+        MessageDrop,
+        run_frogwild_with_faults,
+    )
+
+    graph = _load_graph(args)
+    frogs = args.frogs or max(2_000, graph.num_vertices // 2)
+    schedule = FaultSchedule(
+        crashes=tuple(
+            MachineCrash(
+                step=args.crash_step,
+                machine=machine,
+                rebirth=not args.no_rebirth,
+            )
+            for machine in args.crash
+        ),
+        message_drop=MessageDrop(args.drop) if args.drop else None,
+    )
+    config = FrogWildConfig(
+        num_frogs=frogs, iterations=args.iterations, ps=args.ps,
+        seed=args.seed,
+    )
+    result, log = run_frogwild_with_faults(
+        graph, schedule, config, num_machines=args.machines
+    )
+    truth = exact_pagerank(graph)
+    mass = normalized_mass_captured(
+        result.estimate.vector(), truth, args.top_k
+    )
+    print(f"crashed machines      : {log.crashed_machines or 'none'}")
+    print(f"frogs lost to crashes : {log.frogs_lost_to_crashes:,}")
+    print(f"frogs reborn          : {log.frogs_reborn:,}")
+    print(f"frogs dropped in-flight: {log.frogs_dropped_in_flight:,}")
+    print(f"net frogs lost        : {log.net_frogs_lost:,}")
+    print(f"frogs counted         : {result.estimate.total_stopped:,}"
+          f" / {frogs:,}")
+    print(f"mass captured (k={args.top_k})  : {mass:.4f}")
+    print(f"top-{args.top_k}: {result.estimate.top_k(args.top_k).tolist()}")
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from .experiments import load_figure_json
+    from .viz import figure_chart
+
+    figure = load_figure_json(args.path)
+    print(
+        figure_chart(
+            figure,
+            x=args.x,
+            y=args.y,
+            kind=args.kind,
+            log_x=args.log_x,
+            log_y=args.log_y,
+            width=args.width,
+            height=args.height,
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "figure": _cmd_figure,
+    "run": _cmd_run,
+    "info": _cmd_info,
+    "ppr": _cmd_ppr,
+    "adaptive": _cmd_adaptive,
+    "track": _cmd_track,
+    "faults": _cmd_faults,
+    "chart": _cmd_chart,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:  # pragma: no cover - argparse enforces choices
+        return 2
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Simulated PowerGraph cluster: machines, network, vertex-cuts, time."""
+
+from .costmodel import CostModel, SimulatedClock, SuperstepCost
+from .machine import Machine, MachineGroup
+from .network import MessageSizeModel, NetworkFabric, TrafficSnapshot
+from .partition import (
+    EdgePartition,
+    GridVertexCut,
+    HdrfVertexCut,
+    ObliviousVertexCut,
+    Partitioner,
+    RandomVertexCut,
+    grid_shape,
+    make_partitioner,
+)
+from .replication import ReplicationTable
+
+__all__ = [
+    "Machine",
+    "MachineGroup",
+    "MessageSizeModel",
+    "NetworkFabric",
+    "TrafficSnapshot",
+    "EdgePartition",
+    "Partitioner",
+    "RandomVertexCut",
+    "ObliviousVertexCut",
+    "GridVertexCut",
+    "HdrfVertexCut",
+    "grid_shape",
+    "make_partitioner",
+    "ReplicationTable",
+    "CostModel",
+    "SuperstepCost",
+    "SimulatedClock",
+]

@@ -1,0 +1,69 @@
+"""Simulated cluster machines.
+
+A :class:`Machine` is a pure accounting object: it tracks how much CPU
+work (abstract "ops") the engine charged to it, broken down by phase.
+The cost model converts ops to simulated seconds; Figure 1(d) of the
+paper ("Total CPU usage") is reproduced from exactly these counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Machine", "MachineGroup"]
+
+
+@dataclass
+class Machine:
+    """One simulated cluster node."""
+
+    machine_id: int
+    cpu_ops: int = 0
+    ops_by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge(self, ops: int, phase: str = "compute") -> None:
+        """Charge ``ops`` units of CPU work to this machine."""
+        if ops < 0:
+            raise ValueError("cannot charge negative ops")
+        self.cpu_ops += ops
+        self.ops_by_phase[phase] += ops
+
+    def reset(self) -> None:
+        """Zero all counters (used between experiment repetitions)."""
+        self.cpu_ops = 0
+        self.ops_by_phase.clear()
+
+
+class MachineGroup:
+    """The fixed set of machines making up a simulated cluster."""
+
+    def __init__(self, num_machines: int) -> None:
+        if num_machines < 1:
+            raise ValueError("a cluster needs at least one machine")
+        self._machines = [Machine(i) for i in range(num_machines)]
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def __getitem__(self, machine_id: int) -> Machine:
+        return self._machines[machine_id]
+
+    def __iter__(self):
+        return iter(self._machines)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._machines)
+
+    def total_cpu_ops(self) -> int:
+        """Sum of charged ops across the cluster."""
+        return sum(m.cpu_ops for m in self._machines)
+
+    def max_cpu_ops(self) -> int:
+        """Ops on the busiest machine (the straggler bound)."""
+        return max(m.cpu_ops for m in self._machines)
+
+    def reset(self) -> None:
+        for machine in self._machines:
+            machine.reset()

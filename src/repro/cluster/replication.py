@@ -1,0 +1,247 @@
+"""Master/mirror replication tables derived from a vertex-cut.
+
+Given an :class:`~repro.cluster.partition.EdgePartition`, this module
+precomputes everything the engine needs per superstep:
+
+* which machines replicate each vertex and which one is the master,
+* the out-edges of each vertex grouped by hosting machine (the unit of
+  work a *synchronized mirror* performs during scatter),
+* the in-edges of each vertex grouped by hosting machine (the unit of a
+  distributed gather: each machine sends one partial-sum record to the
+  master).
+
+Everything is laid out in flat numpy arrays so the hot loops touch no
+Python object per edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph import DiGraph
+from .partition import EdgePartition
+
+__all__ = ["ReplicationTable"]
+
+
+class _GroupedEdges:
+    """Edges grouped by (anchor vertex, hosting machine).
+
+    ``anchor`` is the source vertex for scatter grouping and the target
+    vertex for gather grouping.  Groups of a vertex occupy a contiguous
+    slice ``vertex_ptr[v]:vertex_ptr[v+1]`` in the group arrays.
+    """
+
+    __slots__ = (
+        "group_machine",
+        "group_anchor",
+        "group_start",
+        "group_stop",
+        "vertex_ptr",
+        "anchor_edge_ptr",
+        "sorted_other",
+        "edge_machine_sorted",
+    )
+
+    def __init__(
+        self,
+        anchor: np.ndarray,
+        machine: np.ndarray,
+        other: np.ndarray,
+        num_vertices: int,
+    ) -> None:
+        order = np.lexsort((machine, anchor))
+        anchor_sorted = anchor[order]
+        machine_sorted = machine[order]
+        self.sorted_other = other[order]
+        self.edge_machine_sorted = machine_sorted.astype(np.int32)
+
+        if anchor_sorted.size:
+            boundary = np.empty(anchor_sorted.size, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = (anchor_sorted[1:] != anchor_sorted[:-1]) | (
+                machine_sorted[1:] != machine_sorted[:-1]
+            )
+            starts = np.flatnonzero(boundary)
+        else:
+            starts = np.empty(0, dtype=np.int64)
+        self.group_start = starts
+        self.group_stop = np.concatenate([starts[1:], [anchor_sorted.size]]).astype(
+            np.int64
+        )
+        self.group_machine = machine_sorted[starts].astype(np.int32)
+        self.group_anchor = anchor_sorted[starts].astype(np.int64)
+        counts = np.bincount(self.group_anchor, minlength=num_vertices)
+        self.vertex_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        # Edge range of each anchor vertex in the (anchor, machine)-sorted
+        # edge order; edges of a vertex are contiguous in that order.
+        edge_counts = np.bincount(anchor_sorted, minlength=num_vertices)
+        self.anchor_edge_ptr = np.concatenate([[0], np.cumsum(edge_counts)]).astype(
+            np.int64
+        )
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_machine.size)
+
+    def group_sizes(self) -> np.ndarray:
+        """Edges per group."""
+        return self.group_stop - self.group_start
+
+    def edge_anchor(self) -> np.ndarray:
+        """Anchor vertex of every edge in sorted order."""
+        n = self.anchor_edge_ptr.size - 1
+        return np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.anchor_edge_ptr)
+        )
+
+    def groups_of(self, v: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(machines, slice starts, slice stops) of vertex ``v``'s groups."""
+        lo, hi = self.vertex_ptr[v], self.vertex_ptr[v + 1]
+        return (
+            self.group_machine[lo:hi],
+            self.group_start[lo:hi],
+            self.group_stop[lo:hi],
+        )
+
+
+class ReplicationTable:
+    """Master/mirror placement plus machine-grouped adjacency.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.
+    partition:
+        Edge placement from a :class:`Partitioner`.
+    seed:
+        Seed for the (uniform) master selection among each vertex's
+        replicas, mirroring PowerGraph's randomized master assignment.
+    """
+
+    def __init__(
+        self, graph: DiGraph, partition: EdgePartition, seed: int | None = 0
+    ) -> None:
+        if partition.edge_machine.shape != (graph.num_edges,):
+            raise PartitionError(
+                "partition does not match graph: "
+                f"{partition.edge_machine.shape} vs m={graph.num_edges}"
+            )
+        self.graph = graph
+        self.partition = partition
+        self.num_machines = partition.num_machines
+        n = graph.num_vertices
+
+        src = graph.edge_sources()
+        dst = graph.indices
+        machine = partition.edge_machine.astype(np.int32)
+
+        # Replica bitmap: vertex v lives on machine p iff p hosts an
+        # incident edge.  Isolated vertices (possible only with repair
+        # disabled) are pinned to machine 0.
+        replicas = np.zeros((n, self.num_machines), dtype=bool)
+        replicas[src, machine] = True
+        replicas[dst, machine] = True
+        lonely = ~replicas.any(axis=1)
+        replicas[lonely, 0] = True
+        self._replicas = replicas
+        self.replica_counts = replicas.sum(axis=1).astype(np.int32)
+
+        # Distinct seed stream: master selection must not correlate with
+        # other components (partitioner, sync coins) fed the same seed.
+        rng = np.random.default_rng(seed if seed is None else [101, seed])
+        # Uniform master choice among replicas, vectorized: score every
+        # (vertex, machine) cell with iid noise, mask non-replicas, argmax.
+        noise = rng.random((n, self.num_machines))
+        noise[~replicas] = -1.0
+        self.masters = np.argmax(noise, axis=1).astype(np.int32)
+
+        self.out_groups = _GroupedEdges(src, machine, dst, n)
+        self.in_groups = _GroupedEdges(dst, machine, src, n)
+
+        # Vertices mastered on each machine (for init-phase placement).
+        order = np.argsort(self.masters, kind="stable")
+        counts = np.bincount(self.masters, minlength=self.num_machines)
+        self._master_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._master_sorted_vertices = order.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Placement queries
+    # ------------------------------------------------------------------
+    def master_of(self, v: int) -> int:
+        """Machine holding the master replica of ``v``."""
+        return int(self.masters[v])
+
+    def replicas_of(self, v: int) -> np.ndarray:
+        """All machines holding a replica of ``v`` (master included)."""
+        return np.flatnonzero(self._replicas[v])
+
+    def mirrors_of(self, v: int) -> np.ndarray:
+        """Machines holding mirror (non-master) replicas of ``v``."""
+        reps = self.replicas_of(v)
+        return reps[reps != self.masters[v]]
+
+    def mirror_counts(self) -> np.ndarray:
+        """Number of mirrors per vertex, shape ``(n,)``."""
+        return (self.replica_counts - 1).astype(np.int64)
+
+    def masters_on(self, machine: int) -> np.ndarray:
+        """Vertices whose master replica lives on ``machine``."""
+        lo, hi = self._master_ptr[machine], self._master_ptr[machine + 1]
+        return self._master_sorted_vertices[lo:hi]
+
+    def replication_factor(self) -> float:
+        """Average number of replicas per vertex (PowerGraph's lambda)."""
+        return float(self.replica_counts.mean())
+
+    @property
+    def replica_matrix(self) -> np.ndarray:
+        """Boolean (n, num_machines) replica bitmap (read-only)."""
+        return self._replicas
+
+    def sync_record_matrix(self, changed: np.ndarray) -> np.ndarray:
+        """Per machine-pair sync record counts for ``changed`` vertices.
+
+        ``records[s, d]`` = number of changed vertices mastered on ``s``
+        with a mirror on ``d`` — one full synchronization barrier's worth
+        of master-to-mirror updates.
+        """
+        changed = np.asarray(changed, dtype=bool)
+        records = np.zeros((self.num_machines, self.num_machines), dtype=np.int64)
+        for mirror in range(self.num_machines):
+            has_mirror = changed & self._replicas[:, mirror] & (self.masters != mirror)
+            if has_mirror.any():
+                counts = np.bincount(
+                    self.masters[has_mirror], minlength=self.num_machines
+                )
+                records[:, mirror] += counts
+        return records
+
+    # ------------------------------------------------------------------
+    # Machine-grouped adjacency
+    # ------------------------------------------------------------------
+    def out_edge_groups(self, v: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Out-edges of ``v`` split by hosting machine.
+
+        Returns ``(machines, targets_per_machine)`` where
+        ``targets_per_machine[i]`` are the successors reachable through
+        the mirror on ``machines[i]``.
+        """
+        machines, starts, stops = self.out_groups.groups_of(v)
+        targets = [
+            self.out_groups.sorted_other[a:b] for a, b in zip(starts, stops)
+        ]
+        return machines, targets
+
+    def in_edge_groups(self, v: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        """In-edges of ``v`` split by hosting machine (gather grouping)."""
+        machines, starts, stops = self.in_groups.groups_of(v)
+        sources = [
+            self.in_groups.sorted_other[a:b] for a, b in zip(starts, stops)
+        ]
+        return machines, sources
+
+    def out_group_count(self, v: int) -> int:
+        """Number of machines hosting at least one out-edge of ``v``."""
+        return int(self.out_groups.vertex_ptr[v + 1] - self.out_groups.vertex_ptr[v])

@@ -1,0 +1,44 @@
+"""FrogWild! — the paper's primary contribution."""
+
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    AdaptiveRound,
+    run_adaptive_frogwild,
+    top_k_jaccard,
+)
+from .config import FrogWildConfig
+from .erasures import (
+    AtLeastOneOutEdge,
+    ErasureModel,
+    IndependentErasures,
+    erased_walk_step,
+    make_erasure_model,
+)
+from .estimator import PageRankEstimate, top_k_indices
+from .frogwild import FrogWildResult, FrogWildRunner, run_frogwild
+from .gossip import GossipResult, run_gossip
+from .personalized import run_personalized_frogwild, seed_distribution
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "AdaptiveRound",
+    "run_adaptive_frogwild",
+    "top_k_jaccard",
+    "FrogWildConfig",
+    "FrogWildResult",
+    "FrogWildRunner",
+    "run_frogwild",
+    "run_personalized_frogwild",
+    "GossipResult",
+    "run_gossip",
+    "seed_distribution",
+    "PageRankEstimate",
+    "top_k_indices",
+    "ErasureModel",
+    "IndependentErasures",
+    "AtLeastOneOutEdge",
+    "make_erasure_model",
+    "erased_walk_step",
+]

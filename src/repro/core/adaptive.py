@@ -1,0 +1,290 @@
+"""Adaptive frog budgeting: Remark 6 turned into a stopping rule.
+
+The paper observes (Remark 6) that the error of Theorem 1 is driven to
+the order of the captured mass itself with
+
+* ``t = O(log 1/mu_k)`` iterations and
+* ``N = O(k / mu_k^2)`` frogs,
+
+but ``mu_k(pi)`` — the PageRank mass of the true top-k — is unknown
+before running.  This module closes the loop: a cheap *pilot* run
+estimates ``mu_k`` from its own counter histogram, the theory bounds
+convert that estimate into a target budget, and the runner grows the
+frog count geometrically until the reported top-k set is *stable*
+(high Jaccard overlap between consecutive rounds) and *statistically
+separated* (the rank-k/rank-k+1 z-score of
+:meth:`~repro.core.estimator.PageRankEstimate.separation_z`).
+
+Every round is a fresh FrogWild execution on the same ingress (the
+partition is reused, as the paper reuses the loaded graph), so round
+costs are comparable and the total spend is the honest sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import CostModel, EdgePartition, MessageSizeModel, make_partitioner
+from ..engine import build_cluster
+from ..errors import ConfigError
+from ..graph import DiGraph
+from ..theory import recommended_frogs, recommended_iterations
+from .config import FrogWildConfig
+from .estimator import PageRankEstimate
+from .frogwild import FrogWildResult, FrogWildRunner
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveRound",
+    "AdaptiveResult",
+    "run_adaptive_frogwild",
+    "top_k_jaccard",
+]
+
+
+def top_k_jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard overlap of two vertex-id sets (order ignored)."""
+    set_a, set_b = set(map(int, a)), set(map(int, b))
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Stopping-rule parameters for the adaptive runner.
+
+    Attributes
+    ----------
+    k:
+        Size of the wanted top-k set.
+    pilot_frogs:
+        Frog count of the first (pilot) round.
+    growth_factor:
+        Multiplier on the frog count between rounds (Remark 6 only
+        fixes the order, so geometric growth finds the constant).
+    max_frogs:
+        Hard budget cap; the runner never launches more than this many
+        frogs in one round.
+    stability_threshold:
+        Minimum Jaccard overlap between consecutive rounds' top-k sets
+        to accept convergence.
+    min_separation_z:
+        Minimum rank-k boundary z-score to accept convergence.
+    max_rounds:
+        Cap on rounds (pilot included).
+    delta, slack:
+        Failure probability and error-fraction targets fed to the
+        Remark 6 budget recommendation.
+    """
+
+    k: int = 100
+    pilot_frogs: int = 2_000
+    growth_factor: float = 2.0
+    max_frogs: int = 500_000
+    stability_threshold: float = 0.9
+    min_separation_z: float = 1.0
+    max_rounds: int = 8
+    delta: float = 0.1
+    slack: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError("k must be positive")
+        if self.pilot_frogs < 1:
+            raise ConfigError("pilot_frogs must be positive")
+        if self.growth_factor <= 1.0:
+            raise ConfigError("growth_factor must exceed 1")
+        if self.max_frogs < self.pilot_frogs:
+            raise ConfigError("max_frogs must be >= pilot_frogs")
+        if not 0.0 < self.stability_threshold <= 1.0:
+            raise ConfigError("stability_threshold must lie in (0, 1]")
+        if self.min_separation_z < 0:
+            raise ConfigError("min_separation_z must be non-negative")
+        if self.max_rounds < 1:
+            raise ConfigError("max_rounds must be positive")
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigError("delta must lie in (0, 1)")
+        if not 0.0 < self.slack < 1.0:
+            raise ConfigError("slack must lie in (0, 1)")
+
+
+@dataclass(frozen=True)
+class AdaptiveRound:
+    """Diagnostics of one adaptive round."""
+
+    round_index: int
+    num_frogs: int
+    iterations: int
+    mu_k_self_estimate: float
+    separation_z: float
+    jaccard_with_previous: float
+    network_bytes: int
+    total_time_s: float
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive run.
+
+    ``result`` is the last round's full FrogWild result; ``rounds``
+    records the trajectory; ``recommended_frogs`` /
+    ``recommended_iterations`` are the Remark 6 targets computed from
+    the pilot's mass estimate (useful to compare against where the
+    stopping rule actually landed).
+    """
+
+    result: FrogWildResult
+    converged: bool
+    recommended_frogs: int
+    recommended_iterations: int
+    rounds: list[AdaptiveRound] = field(default_factory=list)
+
+    @property
+    def estimate(self) -> PageRankEstimate:
+        return self.result.estimate
+
+    def total_network_bytes(self) -> int:
+        """Honest total spend across all rounds, pilot included."""
+        return sum(r.network_bytes for r in self.rounds)
+
+    def total_time_s(self) -> float:
+        return sum(r.total_time_s for r in self.rounds)
+
+    def total_frogs(self) -> int:
+        return sum(r.num_frogs for r in self.rounds)
+
+
+def _self_estimated_mass(estimate: PageRankEstimate, k: int) -> float:
+    """mu_k under the estimate's own law — the pilot's view of mu_k.
+
+    Upward-biased at tiny N (the estimate concentrates on whatever it
+    sampled), which is the *safe* direction: it can only make the
+    Remark 6 budget recommendation too small, and the stability rule
+    catches that case by demanding set agreement across rounds.
+    """
+    distribution = estimate.distribution()
+    top = estimate.top_k(k)
+    return float(distribution[top].sum())
+
+
+def run_adaptive_frogwild(
+    graph: DiGraph,
+    adaptive: AdaptiveConfig | None = None,
+    base_config: FrogWildConfig | None = None,
+    num_machines: int = 16,
+    partitioner: str = "random",
+    cost_model: CostModel | None = None,
+    size_model: MessageSizeModel | None = None,
+    partition: EdgePartition | None = None,
+    seed: int | None = 0,
+) -> AdaptiveResult:
+    """Grow the frog budget until the top-k answer stabilizes.
+
+    ``base_config`` supplies everything except ``num_frogs`` and
+    ``iterations`` (ps, teleport probability, scatter mode, ...); its
+    frog/iteration fields are ignored in favour of the adaptive
+    schedule.
+    """
+    adaptive = adaptive or AdaptiveConfig()
+    base_config = base_config or FrogWildConfig(seed=seed)
+    if graph.num_vertices == 0:
+        raise ConfigError("cannot run on an empty graph")
+    if adaptive.k > graph.num_vertices:
+        raise ConfigError(
+            f"k={adaptive.k} exceeds the vertex count {graph.num_vertices}"
+        )
+
+    if partition is None:
+        partition = make_partitioner(partitioner, seed).partition(
+            graph, num_machines
+        )
+
+    def run_round(num_frogs: int, iterations: int) -> FrogWildResult:
+        state = build_cluster(
+            graph,
+            num_machines,
+            cost_model=cost_model,
+            size_model=size_model,
+            seed=seed,
+            partition=partition,
+        )
+        config = base_config.with_updates(
+            num_frogs=num_frogs, iterations=iterations
+        )
+        return FrogWildRunner(state, config).run()
+
+    rounds: list[AdaptiveRound] = []
+    k = adaptive.k
+
+    # ---- pilot -----------------------------------------------------
+    pilot_iterations = base_config.iterations
+    result = run_round(adaptive.pilot_frogs, pilot_iterations)
+    mu_hat = _self_estimated_mass(result.estimate, k)
+    target_frogs = min(
+        recommended_frogs(k, max(mu_hat, 1e-6), adaptive.delta, adaptive.slack),
+        adaptive.max_frogs,
+    )
+    target_iterations = recommended_iterations(
+        max(mu_hat, 1e-6), base_config.p_teleport, adaptive.slack
+    )
+    # The paper finds 3-5 supersteps enough; never go below the base
+    # configuration, never above the Remark 6 target.
+    iterations = max(pilot_iterations, min(target_iterations, 12))
+
+    previous_top = result.estimate.top_k(k)
+    rounds.append(
+        AdaptiveRound(
+            round_index=0,
+            num_frogs=adaptive.pilot_frogs,
+            iterations=pilot_iterations,
+            mu_k_self_estimate=mu_hat,
+            separation_z=result.estimate.separation_z(k),
+            jaccard_with_previous=0.0,
+            network_bytes=result.report.network_bytes,
+            total_time_s=result.report.total_time_s,
+        )
+    )
+
+    # ---- geometric growth ------------------------------------------
+    num_frogs = adaptive.pilot_frogs
+    converged = False
+    for round_index in range(1, adaptive.max_rounds):
+        num_frogs = min(
+            int(num_frogs * adaptive.growth_factor), adaptive.max_frogs
+        )
+        result = run_round(num_frogs, iterations)
+        top = result.estimate.top_k(k)
+        jaccard = top_k_jaccard(previous_top, top)
+        z = result.estimate.separation_z(k)
+        rounds.append(
+            AdaptiveRound(
+                round_index=round_index,
+                num_frogs=num_frogs,
+                iterations=iterations,
+                mu_k_self_estimate=_self_estimated_mass(result.estimate, k),
+                separation_z=z,
+                jaccard_with_previous=jaccard,
+                network_bytes=result.report.network_bytes,
+                total_time_s=result.report.total_time_s,
+            )
+        )
+        previous_top = top
+        if (
+            jaccard >= adaptive.stability_threshold
+            and z >= adaptive.min_separation_z
+        ):
+            converged = True
+            break
+        if num_frogs >= adaptive.max_frogs:
+            break
+
+    return AdaptiveResult(
+        result=result,
+        converged=converged,
+        recommended_frogs=target_frogs,
+        recommended_iterations=target_iterations,
+        rounds=rounds,
+    )

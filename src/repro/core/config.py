@@ -1,0 +1,86 @@
+"""Configuration for FrogWild runs.
+
+Mirrors the paper's input parameters (vertex program, Section 2.2):
+``ps`` (mirror sync probability), ``p_T = 0.15`` (teleport/death
+probability) and ``t`` (iteration cut-off), plus the number of frogs N
+and the implementation choices discussed in Sections 2.2 and 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+__all__ = ["FrogWildConfig"]
+
+_SCATTER_MODES = ("multinomial", "binomial")
+_ERASURE_MODELS = ("at-least-one", "independent")
+
+
+@dataclass(frozen=True)
+class FrogWildConfig:
+    """Parameters of one FrogWild execution.
+
+    Attributes
+    ----------
+    num_frogs:
+        N — initial random walkers, placed uniformly at random.  The
+        paper uses 800K on graphs of 4.8M–41.6M vertices; Remark 6 gives
+        the scaling ``N = O(k / mu_k(pi)^2)``.
+    iterations:
+        t — supersteps before every surviving frog is stopped and
+        counted.  The paper finds 3–5 sufficient (Figures 3, 6).
+    ps:
+        Probability that each mirror synchronizes per barrier;
+        ``ps = 1`` is stock PowerGraph.
+    p_teleport:
+        p_T — per-step death probability realizing the teleportation
+        component (0.15 throughout the paper).
+    scatter_mode:
+        ``"multinomial"`` (default) conserves frogs exactly, matching the
+        implementation note in Section 2.2; ``"binomial"`` reproduces the
+        pseudocode literally (Bin(K, 1/(d_out ps)) per enabled edge,
+        conserving frogs only in expectation).
+    erasure_model:
+        ``"at-least-one"`` (default, Example 10 — used in the paper's
+        experiments) re-enables one uniformly chosen mirror when all
+        coins fail for a vertex holding frogs; ``"independent"``
+        (Example 9) lets such frogs idle in place for the step.
+    seed:
+        Seed for all run randomness (placement, deaths, coins, hops).
+    """
+
+    num_frogs: int = 10_000
+    iterations: int = 4
+    ps: float = 1.0
+    p_teleport: float = 0.15
+    scatter_mode: str = "multinomial"
+    erasure_model: str = "at-least-one"
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.num_frogs < 1:
+            raise ConfigError("num_frogs must be positive")
+        if self.iterations < 1:
+            raise ConfigError("iterations must be positive")
+        if not 0.0 <= self.ps <= 1.0:
+            raise ConfigError(f"ps must lie in [0, 1], got {self.ps}")
+        if not 0.0 < self.p_teleport < 1.0:
+            raise ConfigError(
+                f"p_teleport must lie in (0, 1), got {self.p_teleport}"
+            )
+        if self.scatter_mode not in _SCATTER_MODES:
+            raise ConfigError(
+                f"scatter_mode must be one of {_SCATTER_MODES}, "
+                f"got {self.scatter_mode!r}"
+            )
+        if self.erasure_model not in _ERASURE_MODELS:
+            raise ConfigError(
+                f"erasure_model must be one of {_ERASURE_MODELS}, "
+                f"got {self.erasure_model!r}"
+            )
+
+    def with_updates(self, **changes) -> "FrogWildConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)

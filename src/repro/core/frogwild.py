@@ -1,0 +1,405 @@
+"""The FrogWild! algorithm (Section 2.2 of the paper).
+
+N frogs are born on uniformly random vertices.  Each superstep every
+frog first dies with probability ``p_T`` (realizing teleportation per
+Lemma 16 — death plus the uniform birth equals a restart), then hops
+along a uniformly random *enabled* out-edge.  An out-edge is enabled
+when the mirror hosting it was synchronized this barrier — the paper's
+``ps`` patch (see :class:`~repro.engine.sync.MirrorSynchronizer`) —
+with the configured erasure model repairing all-erased vertices.  After
+``t`` supersteps all surviving frogs stop and are counted; the counter
+vector normalized by N is the PageRank estimate (Definition 5).
+
+The runner is the simulator's equivalent of the paper's GraphLab vertex
+program plus engine patch; it shares every accounting primitive with the
+baseline engine so the network/CPU/time comparisons are apples-to-apples.
+
+Implementation notes mirrored from the paper (Section 3.3):
+
+* frogs are anonymous, so all frogs crossing a machine boundary toward
+  the same destination vertex travel as one ``(vertex, count)`` record;
+* there are no teleport messages at all — deaths are local;
+* in ``multinomial`` scatter mode the K surviving frogs of a vertex are
+  split uniformly over enabled edges (frog-conserving, the paper's
+  actual implementation); ``binomial`` mode follows the pseudocode
+  literally with an independent Bin(K, 1/(d_out ps)) per enabled edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster import CostModel, EdgePartition, MessageSizeModel
+from ..engine import ClusterState, MirrorSynchronizer, RunReport, build_cluster
+from ..errors import EngineError
+from ..graph import DiGraph
+from .config import FrogWildConfig
+from .erasures import make_erasure_model
+from .estimator import PageRankEstimate
+
+__all__ = ["FrogWildResult", "FrogWildRunner", "run_frogwild"]
+
+
+@dataclass(frozen=True)
+class FrogWildResult:
+    """Estimate plus execution report of one FrogWild run."""
+
+    estimate: PageRankEstimate
+    report: RunReport
+    state: ClusterState
+
+
+def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + l)`` for every (s, l) pair, vectorized."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    return (
+        np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+    )
+
+
+class FrogWildRunner:
+    """Executes FrogWild on a prepared simulated cluster."""
+
+    def __init__(
+        self,
+        state: ClusterState,
+        config: FrogWildConfig,
+        start_distribution: np.ndarray | None = None,
+    ) -> None:
+        """``start_distribution`` overrides the uniform frog births.
+
+        Because deaths restart the (implicit) walk at the birth law
+        (Lemma 16), a non-uniform birth distribution computes
+        *Personalized* PageRank with that teleport vector — see
+        :mod:`repro.core.personalized`.
+        """
+        if start_distribution is not None:
+            start_distribution = np.asarray(start_distribution, np.float64)
+            if start_distribution.shape != (state.num_vertices,):
+                raise EngineError(
+                    "start_distribution must have one entry per vertex"
+                )
+            if start_distribution.min() < 0 or not np.isclose(
+                start_distribution.sum(), 1.0
+            ):
+                raise EngineError(
+                    "start_distribution must be a probability distribution"
+                )
+        self.start_distribution = start_distribution
+        self.state = state
+        self.config = config
+        # Distinct seed stream from the cluster components (partition,
+        # master selection) that may have received the same seed value.
+        self.rng = np.random.default_rng(
+            config.seed if config.seed is None else [104, config.seed]
+        )
+        self.synchronizer = MirrorSynchronizer(state, config.ps, self.rng)
+        self.erasure = make_erasure_model(config.erasure_model)
+        repl = state.replication
+        og = repl.out_groups
+        self._masters = repl.masters
+        self._vertex_ptr = og.vertex_ptr
+        self._group_machine = og.group_machine.astype(np.int64)
+        self._group_start = og.group_start
+        self._group_sizes = og.group_sizes()
+        self._edge_target = og.sorted_other
+        self._edge_host = og.edge_machine_sorted.astype(np.int64)
+        self._out_degree = np.asarray(state.graph.out_degree(), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def run(self) -> FrogWildResult:
+        """Run ``iterations`` supersteps and return the estimate."""
+        state = self.state
+        cfg = self.config
+        n = state.num_vertices
+        if n == 0:
+            raise EngineError("cannot run FrogWild on an empty graph")
+
+        # init(): frogs born from the start law (uniform by default).
+        if self.start_distribution is None:
+            birth = self.rng.integers(0, n, size=cfg.num_frogs)
+        else:
+            birth = self.rng.choice(
+                n, size=cfg.num_frogs, p=self.start_distribution
+            )
+        frogs = np.bincount(birth, minlength=n).astype(np.int64)
+        counts = np.zeros(n, dtype=np.int64)
+
+        for step in range(cfg.iterations):
+            frogs = self._begin_superstep(step, frogs, counts)
+            active_idx = np.flatnonzero(frogs)
+            if active_idx.size == 0:
+                break
+            frogs = self._superstep(active_idx, frogs[active_idx], counts)
+            state.end_superstep(int(active_idx.size))
+
+        # Cut-off: survivors are counted where they stand (Process 15).
+        counts += frogs
+        estimate = PageRankEstimate(counts, cfg.num_frogs)
+        return FrogWildResult(estimate, self._report(), state)
+
+    # ------------------------------------------------------------------
+    def _superstep(
+        self, active_idx: np.ndarray, k_active: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """One death + sync + scatter round; returns next frog vector."""
+        state = self.state
+        cfg = self.config
+        n = state.num_vertices
+        rng = self.rng
+
+        # -------------------- apply(): teleport deaths ------------------
+        dead = rng.binomial(k_active, cfg.p_teleport)
+        np.add.at(counts, active_idx, dead)
+        survivors = k_active - dead
+        state.charge_many(
+            np.bincount(
+                self._masters[active_idx],
+                weights=k_active,
+                minlength=state.num_machines,
+            ).astype(np.int64),
+            phase="apply",
+        )
+
+        moving = survivors > 0
+        sv = active_idx[moving]
+        k_sv = survivors[moving].astype(np.int64)
+        next_frogs = np.zeros(n, dtype=np.int64)
+        if sv.size == 0:
+            return next_frogs
+
+        # -------------------- <sync>: the ps patch ----------------------
+        fresh = self.synchronizer.synchronize(sv)
+
+        # Enabled out-edge groups of the scattering vertices.
+        g_lo = self._vertex_ptr[sv]
+        g_count = self._vertex_ptr[sv + 1] - g_lo
+        grp_idx = _ranges_to_indices(g_lo, g_count)
+        grp_vertex_pos = np.repeat(
+            np.arange(sv.size, dtype=np.int64), g_count
+        )
+        grp_machine = self._group_machine[grp_idx]
+        enabled_grp = fresh[grp_vertex_pos, grp_machine]
+
+        enabled_per_vertex = np.bincount(
+            grp_vertex_pos, weights=enabled_grp, minlength=sv.size
+        ).astype(np.int64)
+        stranded = enabled_per_vertex == 0
+        if stranded.any():
+            if self.erasure.repairs_empty:
+                enabled_grp = self._repair_stranded(
+                    sv, g_lo, g_count, grp_idx, enabled_grp, stranded
+                )
+            else:
+                # Independent erasures: frogs idle in place this step.
+                np.add.at(next_frogs, sv[stranded], k_sv[stranded])
+                k_sv = k_sv.copy()
+                k_sv[stranded] = 0
+
+        # -------------------- scatter(): frog hops ----------------------
+        grp_sizes = self._group_sizes[grp_idx]
+        edge_idx = _ranges_to_indices(self._group_start[grp_idx], grp_sizes)
+        edge_enabled = np.repeat(enabled_grp, grp_sizes)
+        edge_vertex_pos = np.repeat(grp_vertex_pos, grp_sizes)
+
+        if cfg.scatter_mode == "multinomial":
+            dest, host = self._scatter_multinomial(
+                sv, k_sv, edge_idx, edge_enabled, edge_vertex_pos, next_frogs
+            )
+        else:
+            dest, host = self._scatter_binomial(
+                sv, k_sv, edge_idx, edge_enabled, edge_vertex_pos, next_frogs
+            )
+
+        # CPU: one op per hopped frog on the hosting machine, one per
+        # enabled group for the mirror's scatter dispatch.
+        if dest.size:
+            ops = np.bincount(host, minlength=state.num_machines)
+        else:
+            ops = np.zeros(state.num_machines, dtype=np.int64)
+        ops += np.bincount(
+            grp_machine[enabled_grp], minlength=state.num_machines
+        )
+        state.charge_many(ops.astype(np.int64), phase="scatter")
+
+        # Network: combined (vertex, count) records, host -> dest master.
+        self._account_frog_messages(dest, host)
+        self._post_scatter(dest, host, next_frogs)
+        return next_frogs
+
+    # ------------------------------------------------------------------
+    # Subclass hooks (fault injection lives in repro.faults)
+    # ------------------------------------------------------------------
+    def _begin_superstep(
+        self, step: int, frogs: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Pre-superstep hook; returns the (possibly modified) frog
+        vector.  The base runner is fault-free: identity."""
+        return frogs
+
+    def _post_scatter(
+        self, dest: np.ndarray, host: np.ndarray, next_frogs: np.ndarray
+    ) -> None:
+        """Post-scatter hook, called with the per-frog destination and
+        hosting-machine arrays after ``next_frogs`` is updated.  The
+        base runner delivers everything: no-op."""
+
+    # ------------------------------------------------------------------
+    def _repair_stranded(
+        self,
+        sv: np.ndarray,
+        g_lo: np.ndarray,
+        g_count: np.ndarray,
+        grp_idx: np.ndarray,
+        enabled_grp: np.ndarray,
+        stranded: np.ndarray,
+    ) -> np.ndarray:
+        """At-Least-One-Out-Edge repair: enable one uniform group each."""
+        bad = np.flatnonzero(stranded)
+        pick = (self.rng.random(bad.size) * g_count[bad]).astype(np.int64)
+        # Flat position of each vertex's group block within grp_idx.
+        block_offsets = np.concatenate([[0], np.cumsum(g_count)[:-1]])
+        flat_pos = block_offsets[bad] + pick
+        enabled_grp = enabled_grp.copy()
+        enabled_grp[flat_pos] = True
+        self.synchronizer.force_sync(
+            sv[bad], self._group_machine[grp_idx[flat_pos]]
+        )
+        return enabled_grp
+
+    def _scatter_multinomial(
+        self,
+        sv: np.ndarray,
+        k_sv: np.ndarray,
+        edge_idx: np.ndarray,
+        edge_enabled: np.ndarray,
+        edge_vertex_pos: np.ndarray,
+        next_frogs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split each vertex's K frogs uniformly over its enabled edges."""
+        enabled_counts = np.bincount(
+            edge_vertex_pos, weights=edge_enabled, minlength=sv.size
+        ).astype(np.int64)
+        sendable = enabled_counts > 0
+        k_send = np.where(sendable, k_sv, 0)
+        total = int(k_send.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+        enabled_edges = edge_idx[edge_enabled]
+        enabled_offsets = np.concatenate([[0], np.cumsum(enabled_counts)[:-1]])
+        frog_vertex = np.repeat(np.arange(sv.size, dtype=np.int64), k_send)
+        draw = self.rng.random(total)
+        pick = enabled_offsets[frog_vertex] + (
+            draw * enabled_counts[frog_vertex]
+        ).astype(np.int64)
+        chosen = enabled_edges[pick]
+        dest = self._edge_target[chosen]
+        host = self._edge_host[chosen]
+        np.add.at(next_frogs, dest, 1)
+        return dest, host
+
+    def _scatter_binomial(
+        self,
+        sv: np.ndarray,
+        k_sv: np.ndarray,
+        edge_idx: np.ndarray,
+        edge_enabled: np.ndarray,
+        edge_vertex_pos: np.ndarray,
+        next_frogs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Paper pseudocode: Bin(K, 1/(d_out ps)) per enabled edge."""
+        cfg = self.config
+        on = np.flatnonzero(edge_enabled)
+        if on.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        vertex_pos = edge_vertex_pos[on]
+        k_per_edge = k_sv[vertex_pos]
+        p_eff = max(cfg.ps, 1e-12)
+        prob = np.minimum(
+            1.0, 1.0 / (self._out_degree[sv[vertex_pos]] * p_eff)
+        )
+        sent = self.rng.binomial(k_per_edge, prob)
+        nonzero = sent > 0
+        chosen = edge_idx[on[nonzero]]
+        dest = self._edge_target[chosen]
+        host = self._edge_host[chosen]
+        np.add.at(next_frogs, dest, sent[nonzero])
+        # Replicate per-frog host attribution for CPU/message accounting.
+        dest = np.repeat(dest, sent[nonzero])
+        host = np.repeat(host, sent[nonzero])
+        return dest, host
+
+    def _account_frog_messages(self, dest: np.ndarray, host: np.ndarray) -> None:
+        """Charge combined frog records: hosting machine -> dest master."""
+        if dest.size == 0:
+            return
+        state = self.state
+        n = state.num_vertices
+        pair_keys = np.unique(host * n + dest)
+        host_u = pair_keys // n
+        dest_master = self._masters[pair_keys % n].astype(np.int64)
+        remote = host_u != dest_master
+        if not remote.any():
+            return
+        records = np.bincount(
+            host_u[remote] * state.num_machines + dest_master[remote],
+            minlength=state.num_machines**2,
+        ).reshape(state.num_machines, state.num_machines)
+        state.send_pair_matrix(records, kind="scatter")
+
+    # ------------------------------------------------------------------
+    def _report(self) -> RunReport:
+        state = self.state
+        stats = state.stats
+        cfg = self.config
+        return RunReport(
+            algorithm=f"frogwild(ps={cfg.ps:g})",
+            num_machines=state.num_machines,
+            supersteps=stats.num_supersteps,
+            total_time_s=stats.total_seconds(),
+            time_per_iteration_s=stats.seconds_per_step(),
+            network_bytes=state.fabric.total_bytes(),
+            cpu_seconds=state.cost_model.cpu_seconds(stats.total_cpu_ops()),
+            extra={
+                "num_frogs": float(cfg.num_frogs),
+                "iterations": float(cfg.iterations),
+                "ps": float(cfg.ps),
+                "replication_factor": state.replication.replication_factor(),
+            },
+        )
+
+
+def run_frogwild(
+    graph: DiGraph,
+    config: FrogWildConfig | None = None,
+    num_machines: int = 16,
+    partitioner: str = "random",
+    cost_model: CostModel | None = None,
+    size_model: MessageSizeModel | None = None,
+    partition: EdgePartition | None = None,
+    state: ClusterState | None = None,
+) -> FrogWildResult:
+    """Run FrogWild end to end on a simulated cluster.
+
+    Either pass a prebuilt ``state`` (to reuse an ingress across runs,
+    as the paper does — ingress is excluded from all measurements) or
+    let this build one.
+    """
+    config = config or FrogWildConfig()
+    if state is None:
+        state = build_cluster(
+            graph,
+            num_machines,
+            partitioner=partitioner,
+            cost_model=cost_model,
+            size_model=size_model,
+            seed=config.seed,
+            partition=partition,
+        )
+    return FrogWildRunner(state, config).run()

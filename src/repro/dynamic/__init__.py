@@ -1,0 +1,21 @@
+"""Dynamic graphs: churn generation and continuous top-k tracking.
+
+Implements the paper's motivating OSN scenario (Section 1): the graph
+changes constantly and the top-k PageRank list must be kept fresh with
+a fast approximation rather than recomputed exactly.
+"""
+
+from .churn import ChurnGenerator
+from .graph import DynamicDiGraph, GraphDelta
+from .tracker import PageRankTracker, TrackerUpdate, stable_hash_partition
+from .window import ActivityWindow
+
+__all__ = [
+    "DynamicDiGraph",
+    "GraphDelta",
+    "ChurnGenerator",
+    "ActivityWindow",
+    "PageRankTracker",
+    "TrackerUpdate",
+    "stable_hash_partition",
+]

@@ -1,0 +1,124 @@
+"""Edge-churn workload generator for dynamic-graph experiments.
+
+Models the activity dynamics of the paper's OSN scenario (Section 1,
+third application; reference [19] uses a *mixture of connectivity and
+activity graphs*, the latter "highly dynamic"):
+
+* **additions** follow preferential attachment on in-degree — activity
+  concentrates on already-popular users, preserving the power-law shape
+  that makes top-k recovery meaningful;
+* **removals** hit uniformly random existing edges — interactions expire
+  regardless of endpoint popularity.
+
+Rates are per-step fractions of the current edge count, so the graph
+stays in a statistically steady state under equal rates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+from .graph import DynamicDiGraph, GraphDelta
+
+__all__ = ["ChurnGenerator"]
+
+
+class ChurnGenerator:
+    """Produces a stream of :class:`GraphDelta` batches for a graph.
+
+    Parameters
+    ----------
+    add_rate:
+        Edges added per step, as a fraction of the current edge count.
+    remove_rate:
+        Edges removed per step, as a fraction of the current edge count.
+    attachment_bias:
+        Mixing weight for preferential attachment of added edges'
+        *targets*: 1.0 = pure in-degree-proportional, 0.0 = uniform.
+    seed:
+        Generator seed (a distinct stream from every engine component).
+    """
+
+    def __init__(
+        self,
+        add_rate: float = 0.01,
+        remove_rate: float = 0.01,
+        attachment_bias: float = 0.8,
+        seed: int | None = 0,
+    ) -> None:
+        if add_rate < 0 or remove_rate < 0:
+            raise ConfigError("churn rates must be non-negative")
+        if add_rate == 0 and remove_rate == 0:
+            raise ConfigError("at least one churn rate must be positive")
+        if not 0.0 <= attachment_bias <= 1.0:
+            raise ConfigError("attachment_bias must lie in [0, 1]")
+        self.add_rate = add_rate
+        self.remove_rate = remove_rate
+        self.attachment_bias = attachment_bias
+        self.rng = np.random.default_rng(
+            seed if seed is None else [107, seed]
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, graph: DynamicDiGraph) -> GraphDelta:
+        """One churn batch against the graph's *current* state."""
+        m = graph.num_edges
+        n = graph.num_vertices
+        num_add = int(round(self.add_rate * m))
+        num_remove = int(round(self.remove_rate * m))
+
+        removed = self._pick_removals(graph, num_remove)
+        added = self._pick_additions(graph, num_add)
+        return GraphDelta(added=added, removed=removed)
+
+    def stream(
+        self, graph: DynamicDiGraph, steps: int, apply: bool = True
+    ) -> Iterator[GraphDelta]:
+        """Yield ``steps`` deltas; with ``apply`` (default) each delta is
+        applied to the graph before the next one is generated, so the
+        stream models a live feed rather than a fork."""
+        if steps < 0:
+            raise ConfigError("steps must be non-negative")
+        for _ in range(steps):
+            delta = self.step(graph)
+            if apply:
+                graph.apply(delta)
+            yield delta
+
+    # ------------------------------------------------------------------
+    def _pick_removals(self, graph: DynamicDiGraph, count: int) -> np.ndarray:
+        if count == 0 or graph.num_edges == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        edges = graph.edge_array()
+        count = min(count, edges.shape[0])
+        picks = self.rng.choice(edges.shape[0], size=count, replace=False)
+        return edges[picks]
+
+    def _pick_additions(self, graph: DynamicDiGraph, count: int) -> np.ndarray:
+        if count == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        n = graph.num_vertices
+        sources = self.rng.integers(0, n, size=count)
+
+        # Preferential attachment by in-degree with a uniform floor.
+        in_degree = np.bincount(
+            graph.edge_array()[:, 1], minlength=n
+        ).astype(np.float64)
+        weights = self.attachment_bias * in_degree
+        weights += (1.0 - self.attachment_bias) * max(in_degree.sum() / n, 1.0)
+        total = weights.sum()
+        if total <= 0:
+            targets = self.rng.integers(0, n, size=count)
+        else:
+            targets = self.rng.choice(n, size=count, p=weights / total)
+
+        # Avoid self-loops by redrawing collisions uniformly.
+        loops = sources == targets
+        if loops.any():
+            targets[loops] = (targets[loops] + 1 + self.rng.integers(
+                0, n - 1, size=int(loops.sum())
+            )) % n
+        return np.column_stack([sources, targets])

@@ -1,0 +1,25 @@
+"""Simulated GAS/BSP graph engine with byte-exact traffic accounting."""
+
+from .async_engine import AsyncEngine, AsyncVertexProgram
+from .breakdown import PhaseBreakdown, traffic_breakdown
+from .bsp import BSPEngine
+from .program import ApplyResult, BulkVertexProgram
+from .state import ClusterState, build_cluster
+from .stats import EngineStats, RunReport, StepRecord
+from .sync import MirrorSynchronizer
+
+__all__ = [
+    "ApplyResult",
+    "BulkVertexProgram",
+    "BSPEngine",
+    "AsyncVertexProgram",
+    "AsyncEngine",
+    "ClusterState",
+    "build_cluster",
+    "EngineStats",
+    "RunReport",
+    "StepRecord",
+    "MirrorSynchronizer",
+    "PhaseBreakdown",
+    "traffic_breakdown",
+]

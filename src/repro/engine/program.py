@@ -1,0 +1,98 @@
+"""Vertex-program API for the simulated PowerGraph engine.
+
+The real PowerGraph expresses computations as per-vertex
+Gather/Apply/Scatter (GAS) programs.  This simulator keeps the same
+phase structure and accounting but lets programs process the whole
+active frontier at once with numpy (a *bulk* program) — idiomatic and
+three orders of magnitude faster in Python, while charging exactly the
+same per-machine work the per-vertex execution would.
+
+Phases of one superstep for a :class:`BulkVertexProgram`:
+
+1. **Gather** (if ``gather_edges == "in"``): every machine hosting
+   in-edges of an active vertex computes a partial sum of
+   :meth:`gather_contribution` over its local edges and sends one record
+   to the vertex master (free if it *is* the master).
+2. **Apply**: masters call :meth:`apply_bulk` on the frontier.
+3. **Sync**: every changed vertex pushes one record to each of its
+   mirrors — the traffic FrogWild's ``ps`` patch randomizes.
+4. **Scatter**: vertices flagged in ``signal_mask`` signal all their
+   out-neighbours, activating them next superstep; signal records are
+   combined per (hosting machine, target vertex).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ApplyResult", "BulkVertexProgram"]
+
+
+@dataclass
+class ApplyResult:
+    """Outcome of one apply phase.
+
+    Attributes
+    ----------
+    new_values:
+        Updated vertex data aligned with the active frontier.
+    signal_mask:
+        Which frontier vertices scatter signals to their out-neighbours,
+        aligned with the frontier.  ``None`` means none do.
+    changed_mask:
+        Which frontier vertices actually changed (and therefore must
+        synchronize their mirrors).  ``None`` means all of them.
+    done:
+        Set to stop the run after this superstep (global convergence).
+    """
+
+    new_values: np.ndarray
+    signal_mask: np.ndarray | None = None
+    changed_mask: np.ndarray | None = None
+    done: bool = False
+
+
+class BulkVertexProgram(abc.ABC):
+    """Base class for engine computations (see module docstring)."""
+
+    #: "in" to run the gather phase over in-edges, "none" to skip it.
+    gather_edges: str = "in"
+    #: Human-readable name used in reports.
+    name: str = "program"
+
+    @abc.abstractmethod
+    def initial_data(self, state) -> np.ndarray:
+        """Initial per-vertex data (float array of length n)."""
+
+    def initial_active(self, state) -> np.ndarray:
+        """Initial frontier; defaults to all vertices active."""
+        return np.ones(state.num_vertices, dtype=bool)
+
+    def gather_contribution(
+        self, sources: np.ndarray, data: np.ndarray, state
+    ) -> np.ndarray:
+        """Per-in-edge contribution given the edge's source vertices.
+
+        Default: the random-surfer share ``data[u] / d_out(u)`` used by
+        PageRank.  Only called when ``gather_edges == "in"``.
+        """
+        out_deg = np.asarray(state.graph.out_degree(), dtype=np.float64)
+        return data[sources] / np.maximum(out_deg[sources], 1.0)
+
+    @abc.abstractmethod
+    def apply_bulk(
+        self,
+        active: np.ndarray,
+        gather_sums: np.ndarray,
+        data: np.ndarray,
+        state,
+        step: int,
+    ) -> ApplyResult:
+        """Update the frontier; see :class:`ApplyResult`."""
+
+    def apply_ops_per_vertex(self) -> int:
+        """CPU ops charged per applied vertex (default 1)."""
+        return 1

@@ -1,0 +1,91 @@
+"""Per-superstep and per-run execution statistics.
+
+These are the quantities the paper's figures plot: time per iteration
+(Fig. 1a), total time (1b), network bytes (1c) and CPU seconds (1d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepRecord", "EngineStats", "RunReport"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Measurements for one superstep."""
+
+    step: int
+    active: int
+    bytes_sent: int
+    cpu_ops: int
+    sim_seconds: float
+
+
+@dataclass
+class EngineStats:
+    """Accumulates :class:`StepRecord` rows over a run."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+
+    def record_step(
+        self, active: int, bytes_sent: int, cpu_ops: int, sim_seconds: float
+    ) -> None:
+        self.steps.append(
+            StepRecord(
+                step=len(self.steps),
+                active=active,
+                bytes_sent=bytes_sent,
+                cpu_ops=cpu_ops,
+                sim_seconds=sim_seconds,
+            )
+        )
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.steps)
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.steps)
+
+    def total_cpu_ops(self) -> int:
+        return sum(s.cpu_ops for s in self.steps)
+
+    def total_seconds(self) -> float:
+        return sum(s.sim_seconds for s in self.steps)
+
+    def seconds_per_step(self) -> float:
+        if not self.steps:
+            return 0.0
+        return self.total_seconds() / len(self.steps)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Summary of one algorithm execution on the simulated cluster.
+
+    The four headline metrics match Figure 1 of the paper; ``extra``
+    carries algorithm-specific outputs (e.g. iterations to convergence).
+    """
+
+    algorithm: str
+    num_machines: int
+    supersteps: int
+    total_time_s: float
+    time_per_iteration_s: float
+    network_bytes: int
+    cpu_seconds: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "algorithm": self.algorithm,
+            "num_machines": self.num_machines,
+            "supersteps": self.supersteps,
+            "total_time_s": self.total_time_s,
+            "time_per_iteration_s": self.time_per_iteration_s,
+            "network_bytes": self.network_bytes,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        row.update(self.extra)
+        return row

@@ -1,0 +1,131 @@
+"""Randomized mirror synchronization — the paper's GraphLab patch.
+
+Stock PowerGraph synchronizes *every* mirror of a changed vertex at each
+barrier.  The paper's key system modification (Section 1, third
+innovation; Section 3.3) exposes a scalar ``ps``: each mirror is
+synchronized independently with probability ``ps``, and mirrors left
+un-synchronized stay idle for the following scatter phase.  Setting
+``ps = 1`` reproduces stock behaviour exactly.
+
+:class:`MirrorSynchronizer` implements the patch against the simulated
+cluster, accounting one sync record per synchronized mirror.  The
+returned coin matrix tells the caller (the FrogWild runner) which
+replicas may participate in scatter — the coupling that turns partial
+synchronization into the edge-erasure model of Definition 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from .state import ClusterState
+
+__all__ = ["MirrorSynchronizer"]
+
+
+class MirrorSynchronizer:
+    """Per-barrier randomized master-to-mirror synchronization.
+
+    Parameters
+    ----------
+    state:
+        The simulated cluster.
+    ps:
+        Probability of synchronizing each mirror (paper's ``ps``).
+    rng:
+        Source of the per-mirror coins.
+    """
+
+    def __init__(
+        self, state: ClusterState, ps: float, rng: np.random.Generator
+    ) -> None:
+        if not 0.0 <= ps <= 1.0:
+            raise EngineError(f"ps must lie in [0, 1], got {ps}")
+        self.state = state
+        self.ps = ps
+        self.rng = rng
+        repl = state.replication
+        self._masters = repl.masters
+        self._replicas = repl.replica_matrix
+        num_machines = state.num_machines
+        # mirror_matrix[v, p]: machine p holds a *mirror* (non-master
+        # replica) of vertex v.
+        self._mirror_matrix = repl.replica_matrix.copy()
+        self._mirror_matrix[np.arange(repl.masters.size), repl.masters] = False
+        self._num_machines = num_machines
+
+    def synchronize(self, vertices: np.ndarray) -> np.ndarray:
+        """Synchronize the mirrors of ``vertices``; returns fresh-replica map.
+
+        The result is a boolean matrix of shape ``(len(vertices),
+        num_machines)`` marking machines whose replica of the vertex is
+        fresh after the barrier: the master always, each mirror with
+        probability ``ps``.  One sync record per synchronized mirror is
+        charged to the network, batched per machine pair.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        k = vertices.size
+        mirrors = self._mirror_matrix[vertices]
+        if self.ps >= 1.0:
+            synced_mirrors = mirrors.copy()
+        elif self.ps <= 0.0:
+            synced_mirrors = np.zeros_like(mirrors)
+        else:
+            coins = self.rng.random((k, self._num_machines)) < self.ps
+            synced_mirrors = mirrors & coins
+
+        self._account(vertices, synced_mirrors)
+        fresh = synced_mirrors.copy()
+        if k:
+            fresh[np.arange(k), self._masters[vertices]] = True
+        return fresh
+
+    def disable_machine(self, machine: int) -> None:
+        """Permanently exclude a machine's mirrors from synchronization.
+
+        Used by fault injection (:mod:`repro.faults`): a crashed machine
+        stops receiving master updates, so its replicas can never be
+        fresh again and the scatter phase routes around it.
+        """
+        if not 0 <= machine < self._num_machines:
+            raise EngineError(
+                f"machine {machine} out of range [0, {self._num_machines})"
+            )
+        self._mirror_matrix[:, machine] = False
+
+    def force_sync(self, vertices: np.ndarray, machines: np.ndarray) -> None:
+        """Synchronize one extra (vertex, mirror) pair each — erasure repair.
+
+        Used by the "At Least One Out-Edge Per Node" model (Example 10):
+        when every mirror coin failed for a vertex that must scatter, one
+        uniformly chosen mirror is synchronized after all.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        machines = np.asarray(machines, dtype=np.int64)
+        if vertices.shape != machines.shape:
+            raise EngineError("vertices/machines misaligned in force_sync")
+        if vertices.size == 0:
+            return
+        extra = np.zeros((vertices.size, self._num_machines), dtype=bool)
+        extra[np.arange(vertices.size), machines] = True
+        # Master-hosted groups need no sync; don't bill them.
+        extra[machines == self._masters[vertices]] = False
+        self._account(vertices, extra)
+
+    def _account(self, vertices: np.ndarray, synced: np.ndarray) -> None:
+        """Charge sync records (master -> mirror) batched per machine pair."""
+        if vertices.size == 0 or not synced.any():
+            return
+        state = self.state
+        num_machines = self._num_machines
+        records = np.zeros((num_machines, num_machines), dtype=np.int64)
+        masters = self._masters[vertices]
+        for mirror in range(num_machines):
+            rows = synced[:, mirror]
+            if rows.any():
+                records[:, mirror] += np.bincount(
+                    masters[rows], minlength=num_machines
+                )
+        state.send_pair_matrix(records, kind="sync")
+        state.charge_many(records.sum(axis=0), phase="sync")

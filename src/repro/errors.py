@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or graph operations."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph representation fails."""
+
+
+class PartitionError(ReproError):
+    """Raised when a vertex-cut partitioning is invalid or inconsistent."""
+
+
+class EngineError(ReproError):
+    """Raised for misuse of the BSP engine or vertex-program API."""
+
+
+class ConfigError(ReproError):
+    """Raised when an algorithm configuration fails validation."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment description cannot be executed."""

@@ -1,0 +1,232 @@
+"""Experiment harness: run algorithms on a workload, collect rows.
+
+One :class:`ExperimentHarness` wraps a workload and a cluster layout.
+The ingress partition is computed once per cluster size and shared by
+every algorithm run (the paper excludes ingress from all measurements
+and compares algorithms on the same loaded graph), so comparisons are
+not confounded by placement randomness.
+
+Each run yields an :class:`ExperimentRow`: the engine's four headline
+metrics (time/iteration, total time, network bytes, CPU seconds) plus
+accuracy at each requested k under both of the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import CostModel, EdgePartition, MessageSizeModel, make_partitioner
+from ..core import FrogWildConfig, run_frogwild
+from ..engine import build_cluster
+from ..errors import ExperimentError
+from ..metrics import exact_identification, normalized_mass_captured
+from ..pagerank import graphlab_pagerank, sparsified_pagerank
+from .workloads import Workload
+
+__all__ = ["ExperimentRow", "ExperimentHarness"]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One algorithm execution, flattened for reporting."""
+
+    workload: str
+    algorithm: str
+    num_machines: int
+    supersteps: int
+    total_time_s: float
+    time_per_iteration_s: float
+    network_bytes: int
+    cpu_seconds: float
+    mass_captured: dict[int, float] = field(default_factory=dict)
+    exact_identification: dict[int, float] = field(default_factory=dict)
+    params: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+            "machines": self.num_machines,
+            "supersteps": self.supersteps,
+            "total_time_s": self.total_time_s,
+            "time_per_iteration_s": self.time_per_iteration_s,
+            "network_bytes": self.network_bytes,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        for k, value in sorted(self.mass_captured.items()):
+            row[f"mass@{k}"] = value
+        for k, value in sorted(self.exact_identification.items()):
+            row[f"exact@{k}"] = value
+        row.update(self.params)
+        return row
+
+
+class ExperimentHarness:
+    """Runs the paper's algorithms on one workload, comparably."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        num_machines: int | None = None,
+        partitioner: str = "random",
+        cost_model: CostModel | None = None,
+        size_model: MessageSizeModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.workload = workload
+        self.num_machines = num_machines or workload.default_machines
+        self.partitioner = partitioner
+        self.cost_model = cost_model or CostModel()
+        self.size_model = size_model or MessageSizeModel()
+        self.seed = seed
+        self._partitions: dict[int, EdgePartition] = {}
+
+    # ------------------------------------------------------------------
+    def partition_for(self, num_machines: int) -> EdgePartition:
+        """Ingress once per cluster size, shared across algorithms."""
+        if num_machines not in self._partitions:
+            partitioner = make_partitioner(self.partitioner, self.seed)
+            self._partitions[num_machines] = partitioner.partition(
+                self.workload.graph, num_machines
+            )
+        return self._partitions[num_machines]
+
+    def _state(self, num_machines: int):
+        return build_cluster(
+            self.workload.graph,
+            num_machines,
+            cost_model=self.cost_model,
+            size_model=self.size_model,
+            seed=self.seed,
+            partition=self.partition_for(num_machines),
+        )
+
+    def _accuracy(
+        self, estimate: np.ndarray, ks: tuple[int, ...]
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        truth = self.workload.truth
+        mass = {
+            k: normalized_mass_captured(estimate, truth, k) for k in ks
+        }
+        exact = {k: exact_identification(estimate, truth, k) for k in ks}
+        return mass, exact
+
+    # ------------------------------------------------------------------
+    def run_frogwild(
+        self,
+        config: FrogWildConfig | None = None,
+        ks: tuple[int, ...] = (100,),
+        num_machines: int | None = None,
+        **config_overrides,
+    ) -> ExperimentRow:
+        """Run FrogWild; ``config_overrides`` patch the workload default."""
+        machines = num_machines or self.num_machines
+        if config is None:
+            config = FrogWildConfig(
+                num_frogs=self.workload.default_frogs,
+                iterations=self.workload.default_iterations,
+                seed=self.seed,
+            )
+        if config_overrides:
+            config = config.with_updates(**config_overrides)
+        result = run_frogwild(
+            self.workload.graph, config, state=self._state(machines)
+        )
+        mass, exact = self._accuracy(result.estimate.vector(), ks)
+        return ExperimentRow(
+            workload=self.workload.name,
+            algorithm=f"FrogWild ps={config.ps:g}",
+            num_machines=machines,
+            supersteps=result.report.supersteps,
+            total_time_s=result.report.total_time_s,
+            time_per_iteration_s=result.report.time_per_iteration_s,
+            network_bytes=result.report.network_bytes,
+            cpu_seconds=result.report.cpu_seconds,
+            mass_captured=mass,
+            exact_identification=exact,
+            params={
+                "ps": config.ps,
+                "num_frogs": config.num_frogs,
+                "iterations": config.iterations,
+            },
+        )
+
+    def run_graphlab(
+        self,
+        iterations: int | None = None,
+        tolerance: float = 1e-3,
+        ks: tuple[int, ...] = (100,),
+        num_machines: int | None = None,
+        max_supersteps: int = 200,
+    ) -> ExperimentRow:
+        """Run the GraphLab PR baseline (exact when ``iterations=None``)."""
+        machines = num_machines or self.num_machines
+        result = graphlab_pagerank(
+            self.workload.graph,
+            iterations=iterations,
+            tolerance=tolerance,
+            state=self._state(machines),
+            max_supersteps=max_supersteps,
+        )
+        mass, exact = self._accuracy(result.ranks, ks)
+        label = (
+            "GraphLab PR exact"
+            if iterations is None
+            else f"GraphLab PR {iterations} iters"
+        )
+        return ExperimentRow(
+            workload=self.workload.name,
+            algorithm=label,
+            num_machines=machines,
+            supersteps=result.report.supersteps,
+            total_time_s=result.report.total_time_s,
+            time_per_iteration_s=result.report.time_per_iteration_s,
+            network_bytes=result.report.network_bytes,
+            cpu_seconds=result.report.cpu_seconds,
+            mass_captured=mass,
+            exact_identification=exact,
+            params={"iterations": float(iterations or result.report.supersteps)},
+        )
+
+    def run_sparsified(
+        self,
+        keep_probability: float,
+        iterations: int = 2,
+        ks: tuple[int, ...] = (100,),
+        num_machines: int | None = None,
+    ) -> ExperimentRow:
+        """Run the uniform-sparsification baseline (Figure 5).
+
+        The sparsified graph differs per ``keep_probability``, so this
+        run performs its own ingress — consistent with the paper, where
+        sparsification happens before loading.
+        """
+        if not 0.0 < keep_probability <= 1.0:
+            raise ExperimentError("keep_probability must lie in (0, 1]")
+        machines = num_machines or self.num_machines
+        result = sparsified_pagerank(
+            self.workload.graph,
+            keep_probability,
+            iterations=iterations,
+            num_machines=machines,
+            partitioner=self.partitioner,
+            cost_model=self.cost_model,
+            size_model=self.size_model,
+            seed=self.seed,
+        )
+        mass, exact = self._accuracy(result.ranks, ks)
+        return ExperimentRow(
+            workload=self.workload.name,
+            algorithm=f"Sparsified PR q={keep_probability:g}",
+            num_machines=machines,
+            supersteps=result.report.supersteps,
+            total_time_s=result.report.total_time_s,
+            time_per_iteration_s=result.report.time_per_iteration_s,
+            network_bytes=result.report.network_bytes,
+            cpu_seconds=result.report.cpu_seconds,
+            mass_captured=mass,
+            exact_identification=exact,
+            params={"q": keep_probability, "iterations": float(iterations)},
+        )

@@ -1,0 +1,133 @@
+"""Saving and loading experiment results (JSON and CSV).
+
+Experiment rows round-trip losslessly through JSON; CSV is a flattened
+export for spreadsheets (``as_dict`` columns, one row per run).  Figure
+results carry their id/title/notes alongside the rows so a saved file
+is self-describing.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..errors import ExperimentError
+from .figures import FigureResult
+from .harness import ExperimentRow
+
+__all__ = [
+    "row_to_dict",
+    "row_from_dict",
+    "save_rows_json",
+    "load_rows_json",
+    "save_figure_json",
+    "load_figure_json",
+    "save_rows_csv",
+]
+
+
+def row_to_dict(row: ExperimentRow) -> dict:
+    """Full-fidelity dict (JSON-safe keys) for one row."""
+    return {
+        "workload": row.workload,
+        "algorithm": row.algorithm,
+        "num_machines": row.num_machines,
+        "supersteps": row.supersteps,
+        "total_time_s": row.total_time_s,
+        "time_per_iteration_s": row.time_per_iteration_s,
+        "network_bytes": row.network_bytes,
+        "cpu_seconds": row.cpu_seconds,
+        "mass_captured": {str(k): v for k, v in row.mass_captured.items()},
+        "exact_identification": {
+            str(k): v for k, v in row.exact_identification.items()
+        },
+        "params": dict(row.params),
+    }
+
+
+def row_from_dict(data: dict) -> ExperimentRow:
+    """Inverse of :func:`row_to_dict`."""
+    try:
+        return ExperimentRow(
+            workload=data["workload"],
+            algorithm=data["algorithm"],
+            num_machines=int(data["num_machines"]),
+            supersteps=int(data["supersteps"]),
+            total_time_s=float(data["total_time_s"]),
+            time_per_iteration_s=float(data["time_per_iteration_s"]),
+            network_bytes=int(data["network_bytes"]),
+            cpu_seconds=float(data["cpu_seconds"]),
+            mass_captured={
+                int(k): float(v)
+                for k, v in data.get("mass_captured", {}).items()
+            },
+            exact_identification={
+                int(k): float(v)
+                for k, v in data.get("exact_identification", {}).items()
+            },
+            params=dict(data.get("params", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(f"malformed experiment row: {exc}") from exc
+
+
+def save_rows_json(rows: list[ExperimentRow], path: str | Path) -> Path:
+    """Write rows as a JSON array; returns the path written."""
+    path = Path(path)
+    payload = [row_to_dict(row) for row in rows]
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_rows_json(path: str | Path) -> list[ExperimentRow]:
+    """Read rows saved by :func:`save_rows_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ExperimentError(f"{path}: expected a JSON array of rows")
+    return [row_from_dict(item) for item in payload]
+
+
+def save_figure_json(figure: FigureResult, path: str | Path) -> Path:
+    """Write a figure (id, title, notes, rows) as one JSON object."""
+    path = Path(path)
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "notes": figure.notes,
+        "rows": [row_to_dict(row) for row in figure.rows],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_figure_json(path: str | Path) -> FigureResult:
+    """Read a figure saved by :func:`save_figure_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        return FigureResult(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            notes=payload.get("notes", ""),
+            rows=[row_from_dict(item) for item in payload["rows"]],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(f"malformed figure file {path}: {exc}") from exc
+
+
+def save_rows_csv(rows: list[ExperimentRow], path: str | Path) -> Path:
+    """Flattened CSV export (``as_dict`` columns, union over rows)."""
+    path = Path(path)
+    if not rows:
+        raise ExperimentError("nothing to save: rows is empty")
+    dicts = [row.as_dict() for row in rows]
+    columns: list[str] = []
+    for row in dicts:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(dicts)
+    return path

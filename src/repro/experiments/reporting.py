@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as figures; the harness prints the
+same series as aligned text tables so every number is inspectable and
+diffable in CI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = ["format_value", "format_table", "format_rows"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly scalar formatting (SI-ish for big numbers)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        if abs(value) >= 1_000_000:
+            return f"{value:.3e}"
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1_000_000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render mapping rows as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [
+        [format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    parts.append(header)
+    parts.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        parts.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line))
+        )
+    return "\n".join(parts)
+
+
+def format_rows(rows, columns: list[str] | None = None, title: str | None = None) -> str:
+    """Like :func:`format_table` but accepts ExperimentRow objects."""
+    return format_table(
+        [row.as_dict() if hasattr(row, "as_dict") else row for row in rows],
+        columns=columns,
+        title=title,
+    )

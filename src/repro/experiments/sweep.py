@@ -1,0 +1,78 @@
+"""Generic parameter sweeps over the FrogWild configuration space.
+
+The figure functions cover the paper's exact grids; these helpers
+support ad-hoc exploration (ablations, sensitivity analyses) with the
+same harness and row format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from itertools import product
+
+from ..errors import ExperimentError
+from .harness import ExperimentHarness, ExperimentRow
+
+__all__ = ["sweep_frogwild", "pareto_front"]
+
+_SWEEPABLE = {
+    "ps",
+    "num_frogs",
+    "iterations",
+    "p_teleport",
+    "scatter_mode",
+    "erasure_model",
+    "seed",
+}
+
+
+def sweep_frogwild(
+    harness: ExperimentHarness,
+    ks: tuple[int, ...] = (100,),
+    **grids: Iterable,
+) -> list[ExperimentRow]:
+    """Run FrogWild for the cartesian product of the given parameter
+    grids, e.g. ``sweep_frogwild(h, ps=[1, 0.5], iterations=[3, 4])``."""
+    unknown = set(grids) - _SWEEPABLE
+    if unknown:
+        raise ExperimentError(
+            f"cannot sweep over {sorted(unknown)}; "
+            f"sweepable: {sorted(_SWEEPABLE)}"
+        )
+    names = list(grids)
+    rows = []
+    for values in product(*(list(grids[name]) for name in names)):
+        overrides = dict(zip(names, values))
+        rows.append(harness.run_frogwild(ks=ks, **overrides))
+    return rows
+
+
+def pareto_front(
+    rows: Sequence[ExperimentRow],
+    cost_attr: str = "total_time_s",
+    k: int = 100,
+) -> list[ExperimentRow]:
+    """Rows not dominated in (lower cost, higher mass@k).
+
+    Useful for summarizing the Figure 3/7 trade-off clouds: a row is on
+    the front when no other row is both cheaper and more accurate.
+    """
+    front = []
+    for row in rows:
+        cost = getattr(row, cost_attr)
+        acc = row.mass_captured.get(k)
+        if acc is None:
+            raise ExperimentError(f"row lacks mass@{k}: {row.algorithm}")
+        dominated = any(
+            getattr(other, cost_attr) <= cost
+            and other.mass_captured.get(k, -1.0) >= acc
+            and (
+                getattr(other, cost_attr) < cost
+                or other.mass_captured.get(k, -1.0) > acc
+            )
+            for other in rows
+        )
+        if not dominated:
+            front.append(row)
+    front.sort(key=lambda row: getattr(row, cost_attr))
+    return front

@@ -1,0 +1,137 @@
+"""Standard experiment workloads (the paper's graphs, scaled down).
+
+The paper evaluates on Twitter (41.6M vertices / 1.4B edges, AWS with
+12–24 machines, 800K frogs) and LiveJournal (4.8M / 69M, VirtualBox
+with 20 machines, 400K–1.4M frogs).  The simulator runs the same
+experiments on synthetic stand-ins three orders of magnitude smaller;
+frog counts are scaled so the *frogs-per-vertex* ratio stays in the
+paper's sublinear regime while leaving enough samples for top-100
+estimation (Remark 6: N grows with k/mu_k², not with n — the paper
+itself uses the same 800K for graphs an order of magnitude apart).
+
+Every figure function accepts an explicit workload so real SNAP graphs
+(via :func:`repro.graph.read_edge_list`) can be dropped in unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..graph import DiGraph, livejournal_like, rmat, twitter_like
+from ..pagerank import exact_pagerank
+
+__all__ = [
+    "Workload",
+    "twitter_workload",
+    "livejournal_workload",
+    "rmat_workload",
+    "PAPER_TWITTER_VERTICES",
+    "PAPER_LIVEJOURNAL_VERTICES",
+    "PAPER_FROGS",
+]
+
+#: Sizes of the paper's datasets, for documentation and frog scaling.
+PAPER_TWITTER_VERTICES = 41_600_000
+PAPER_LIVEJOURNAL_VERTICES = 4_800_000
+#: The paper's default walker count ("800K rw").
+PAPER_FROGS = 800_000
+
+
+@dataclass
+class Workload:
+    """A named graph plus its experiment defaults and ground truth."""
+
+    name: str
+    graph: DiGraph
+    default_frogs: int
+    default_iterations: int
+    default_machines: int
+    #: Paper-scale counterparts, recorded in reports.
+    paper_vertices: int
+    _truth: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def truth(self) -> np.ndarray:
+        """Exact PageRank, computed lazily once and cached."""
+        if self._truth is None:
+            self._truth = exact_pagerank(self.graph)
+        return self._truth
+
+    def frogs_scaled(self, paper_frogs: int) -> int:
+        """Translate a paper frog count (e.g. Figure 6's 400K–1.4M sweep)
+        into this workload's scale, preserving the ratio to the default
+        800K."""
+        return max(1, round(self.default_frogs * paper_frogs / PAPER_FROGS))
+
+
+@lru_cache(maxsize=8)
+def _twitter_graph(n: int) -> DiGraph:
+    return twitter_like(n=n)
+
+
+@lru_cache(maxsize=8)
+def _livejournal_graph(n: int) -> DiGraph:
+    return livejournal_like(n=n)
+
+
+def twitter_workload(
+    n: int = 50_000,
+    default_frogs: int = 24_000,
+    default_machines: int = 16,
+) -> Workload:
+    """Scaled Twitter stand-in (paper: AWS, 12–24 nodes, 800K frogs)."""
+    return Workload(
+        name="twitter",
+        graph=_twitter_graph(n),
+        default_frogs=default_frogs,
+        default_iterations=4,
+        default_machines=default_machines,
+        paper_vertices=PAPER_TWITTER_VERTICES,
+    )
+
+
+@lru_cache(maxsize=8)
+def _rmat_graph(scale: int, edge_factor: int) -> DiGraph:
+    return rmat(scale=scale, edge_factor=edge_factor, seed=17)
+
+
+def rmat_workload(
+    scale: int = 15,
+    edge_factor: int = 16,
+    default_frogs: int = 24_000,
+    default_machines: int = 16,
+) -> Workload:
+    """Graph500-style R-MAT workload (not in the paper).
+
+    A third graph family with a *different* generative process from the
+    preferential-attachment stand-ins, used by the robustness bench to
+    check that the reproduced figure shapes are not artifacts of one
+    generator's degree correlations.
+    """
+    return Workload(
+        name=f"rmat{scale}",
+        graph=_rmat_graph(scale, edge_factor),
+        default_frogs=default_frogs,
+        default_iterations=4,
+        default_machines=default_machines,
+        paper_vertices=1 << scale,
+    )
+
+
+def livejournal_workload(
+    n: int = 20_000,
+    default_frogs: int = 24_000,
+    default_machines: int = 20,
+) -> Workload:
+    """Scaled LiveJournal stand-in (paper: VirtualBox, 20 nodes)."""
+    return Workload(
+        name="livejournal",
+        graph=_livejournal_graph(n),
+        default_frogs=default_frogs,
+        default_iterations=4,
+        default_machines=default_machines,
+        paper_vertices=PAPER_LIVEJOURNAL_VERTICES,
+    )

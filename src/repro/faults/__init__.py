@@ -1,0 +1,23 @@
+"""Fault injection: crashes, lossy transport and stragglers.
+
+Demonstrates the robustness corollary of the paper's design: anonymous
+uniformly-born walkers make FrogWild degrade gracefully under exactly
+the failures that force synchronous PageRank to checkpoint or restart.
+"""
+
+from .checkpoint import CheckpointConfig, CheckpointedFrogWildRunner
+from .costmodel import StragglerCostModel
+from .runner import FaultLog, FaultyFrogWildRunner, run_frogwild_with_faults
+from .schedule import FaultSchedule, MachineCrash, MessageDrop
+
+__all__ = [
+    "MachineCrash",
+    "MessageDrop",
+    "FaultSchedule",
+    "FaultLog",
+    "FaultyFrogWildRunner",
+    "run_frogwild_with_faults",
+    "CheckpointConfig",
+    "CheckpointedFrogWildRunner",
+    "StragglerCostModel",
+]

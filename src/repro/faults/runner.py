@@ -1,0 +1,152 @@
+"""FrogWild under injected faults.
+
+:class:`FaultyFrogWildRunner` extends the stock runner through its two
+subclass hooks:
+
+* ``_begin_superstep`` fires scheduled :class:`~repro.faults.MachineCrash`
+  events — frogs mastered on the dead machine are lost (and optionally
+  reborn uniformly), and the machine's mirrors leave the sync pool for
+  good;
+* ``_post_scatter`` applies :class:`~repro.faults.MessageDrop` — each
+  machine-crossing frog delivery is lost independently, *after* its
+  bytes were charged (the message really was sent).
+
+The headline property this module exists to demonstrate: because frogs
+are anonymous, uniformly born, and individually meaningless, FrogWild
+degrades *gracefully* — a crash that wipes 1/M of the walkers costs
+roughly a 1/M accuracy dent (rebirth even less), while an exact
+synchronous PageRank would have to restart or replay the lost partition
+before its answer means anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster import CostModel, EdgePartition, MessageSizeModel
+from ..core import FrogWildConfig
+from ..core.frogwild import FrogWildResult, FrogWildRunner
+from ..engine import ClusterState, build_cluster
+from ..errors import ConfigError
+from ..graph import DiGraph
+from .schedule import FaultSchedule
+
+__all__ = ["FaultLog", "FaultyFrogWildRunner", "run_frogwild_with_faults"]
+
+
+@dataclass
+class FaultLog:
+    """What the injected faults actually did to the run."""
+
+    crashed_machines: list[int] = field(default_factory=list)
+    frogs_lost_to_crashes: int = 0
+    frogs_reborn: int = 0
+    frogs_dropped_in_flight: int = 0
+
+    @property
+    def net_frogs_lost(self) -> int:
+        """Walkers permanently removed from the run."""
+        return (
+            self.frogs_lost_to_crashes
+            - self.frogs_reborn
+            + self.frogs_dropped_in_flight
+        )
+
+
+class FaultyFrogWildRunner(FrogWildRunner):
+    """The stock runner plus a fault schedule."""
+
+    def __init__(
+        self,
+        state: ClusterState,
+        config: FrogWildConfig,
+        schedule: FaultSchedule,
+        start_distribution: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(state, config, start_distribution)
+        for crash in schedule.crashes:
+            if crash.machine >= state.num_machines:
+                raise ConfigError(
+                    f"crash targets machine {crash.machine} but the "
+                    f"cluster has {state.num_machines}"
+                )
+        self.schedule = schedule
+        self.fault_log = FaultLog()
+        # Fault randomness must not perturb the walk randomness, so a
+        # run with an empty schedule is bit-identical to the stock
+        # runner: distinct stream.
+        self._fault_rng = np.random.default_rng(
+            config.seed if config.seed is None else [108, config.seed]
+        )
+
+    # ------------------------------------------------------------------
+    def _begin_superstep(
+        self, step: int, frogs: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        crashes = self.schedule.crashes_at(step)
+        if not crashes:
+            return frogs
+        frogs = frogs.copy()
+        n = frogs.size
+        for crash in crashes:
+            machine = crash.machine
+            self.fault_log.crashed_machines.append(machine)
+            self.synchronizer.disable_machine(machine)
+            mastered = self.state.replication.masters_on(machine)
+            lost = int(frogs[mastered].sum())
+            frogs[mastered] = 0
+            self.fault_log.frogs_lost_to_crashes += lost
+            if crash.rebirth and lost:
+                rebirth_positions = self._fault_rng.integers(
+                    0, n, size=lost
+                )
+                frogs += np.bincount(rebirth_positions, minlength=n)
+                self.fault_log.frogs_reborn += lost
+        return frogs
+
+    def _post_scatter(
+        self, dest: np.ndarray, host: np.ndarray, next_frogs: np.ndarray
+    ) -> None:
+        drop = self.schedule.message_drop
+        if drop is None or drop.probability == 0.0 or dest.size == 0:
+            return
+        remote = host != self._masters[dest]
+        coins = self._fault_rng.random(dest.size) < drop.probability
+        lost = remote & coins
+        if lost.any():
+            np.subtract.at(next_frogs, dest[lost], 1)
+            self.fault_log.frogs_dropped_in_flight += int(lost.sum())
+
+
+def run_frogwild_with_faults(
+    graph: DiGraph,
+    schedule: FaultSchedule,
+    config: FrogWildConfig | None = None,
+    num_machines: int = 16,
+    partitioner: str = "random",
+    cost_model: CostModel | None = None,
+    size_model: MessageSizeModel | None = None,
+    partition: EdgePartition | None = None,
+    state: ClusterState | None = None,
+) -> tuple[FrogWildResult, FaultLog]:
+    """Run FrogWild end to end under a fault schedule.
+
+    Mirrors :func:`repro.core.run_frogwild`, returning the usual result
+    plus the :class:`FaultLog` of what the schedule inflicted.
+    """
+    config = config or FrogWildConfig()
+    if state is None:
+        state = build_cluster(
+            graph,
+            num_machines,
+            partitioner=partitioner,
+            cost_model=cost_model,
+            size_model=size_model,
+            seed=config.seed,
+            partition=partition,
+        )
+    runner = FaultyFrogWildRunner(state, config, schedule)
+    result = runner.run()
+    return result, runner.fault_log

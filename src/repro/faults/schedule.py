@@ -1,0 +1,97 @@
+"""Fault schedules: what breaks, when, and how.
+
+Three failure modes cover what a BSP graph engine actually suffers:
+
+* :class:`MachineCrash` — a machine dies at a given superstep.  The
+  frogs resident on its mastered vertices are lost (optionally reborn
+  uniformly, modelling a checkpoint-free restart of the walkers), and
+  its mirrors drop out of synchronization for the rest of the run.
+  Vertex *identities* survive — the replication layer re-hosts masters
+  instantly, as PowerGraph's fault recovery would after replay.
+* :class:`MessageDrop` — each boundary-crossing frog delivery is lost
+  independently with a fixed probability (lossy transport / overflowing
+  receive buffers).  Bytes are still charged: the message was sent.
+* Stragglers are a *cost* phenomenon, not a correctness one — see
+  :class:`repro.faults.StragglerCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["MachineCrash", "MessageDrop", "FaultSchedule"]
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """One machine failing at the start of one superstep.
+
+    Attributes
+    ----------
+    step:
+        Superstep index (0-based) at which the crash takes effect.
+    machine:
+        The failing machine id.
+    rebirth:
+        When true (default), the lost frogs are reborn on uniformly
+        random vertices — the cheap recovery FrogWild affords because
+        walkers are anonymous and the birth law is uniform anyway.
+        When false, the frogs are simply gone (the estimator keeps
+        dividing by the original N, so mass is visibly missing).
+    """
+
+    step: int
+    machine: int
+    rebirth: bool = True
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ConfigError("crash step must be non-negative")
+        if self.machine < 0:
+            raise ConfigError("machine id must be non-negative")
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Independent per-delivery loss on machine-crossing frog records."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"drop probability must lie in [0, 1], "
+                f"got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that goes wrong during one run."""
+
+    crashes: tuple[MachineCrash, ...] = ()
+    message_drop: MessageDrop | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        seen: set[tuple[int, int]] = set()
+        for crash in self.crashes:
+            key = (crash.step, crash.machine)
+            if key in seen:
+                raise ConfigError(
+                    f"duplicate crash of machine {crash.machine} "
+                    f"at step {crash.step}"
+                )
+            seen.add(key)
+
+    def crashes_at(self, step: int) -> list[MachineCrash]:
+        """Crashes scheduled to fire at the given superstep."""
+        return [c for c in self.crashes if c.step == step]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.crashes and (
+            self.message_drop is None or self.message_drop.probability == 0.0
+        )

@@ -1,0 +1,51 @@
+"""Directed-graph substrate: CSR storage, builders, generators, I/O."""
+
+from .analysis import (
+    GraphSummary,
+    is_strongly_connected,
+    power_law_exponent,
+    reciprocity,
+    summarize,
+)
+from .builder import GraphBuilder, from_edges
+from .digraph import DiGraph
+from .generators import (
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    livejournal_like,
+    preferential_attachment,
+    rmat,
+    star_graph,
+    twitter_like,
+)
+from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .transform import largest_scc, strongly_connected_components, subgraph_vertices
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "from_edges",
+    "erdos_renyi",
+    "chung_lu",
+    "rmat",
+    "preferential_attachment",
+    "twitter_like",
+    "livejournal_like",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "GraphSummary",
+    "summarize",
+    "reciprocity",
+    "power_law_exponent",
+    "is_strongly_connected",
+    "strongly_connected_components",
+    "subgraph_vertices",
+    "largest_scc",
+]

@@ -1,0 +1,111 @@
+"""Graph serialization.
+
+Two formats are supported:
+
+* **SNAP edge lists** (the format LiveJournal and Twitter are distributed
+  in): plain text, one ``source<whitespace>target`` pair per line, ``#``
+  comments.  Vertex ids need not be contiguous; they are compacted and the
+  mapping is returned.
+* **NPZ snapshots**: the CSR arrays in a single compressed numpy file —
+  loads orders of magnitude faster for repeated experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builder import from_edges
+from .digraph import DiGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+]
+
+
+def read_edge_list(
+    path: str | os.PathLike[str],
+    comments: str = "#",
+    repair_dangling: str = "self-loop",
+    return_mapping: bool = False,
+) -> DiGraph | tuple[DiGraph, np.ndarray]:
+    """Read a SNAP-style whitespace-separated edge list.
+
+    Vertex ids are compacted to ``0..n-1`` in sorted order of the original
+    ids.  With ``return_mapping=True`` the original id of each compact
+    vertex is returned alongside the graph.
+    """
+    sources: list[int] = []
+    targets: list[int] = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'source target', got {line!r}"
+                )
+            try:
+                sources.append(int(parts[0]))
+                targets.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id in {line!r}"
+                ) from exc
+    if not sources:
+        raise GraphFormatError(f"{path}: no edges found")
+
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    original_ids, compact = np.unique(np.concatenate([src, dst]), return_inverse=True)
+    src_c = compact[: src.size]
+    dst_c = compact[src.size :]
+    graph = from_edges(
+        np.column_stack([src_c, dst_c]),
+        num_vertices=original_ids.size,
+        repair_dangling=repair_dangling,
+    )
+    if return_mapping:
+        return graph, original_ids
+    return graph
+
+
+def write_edge_list(
+    graph: DiGraph, path: str | os.PathLike[str], header: str | None = None
+) -> None:
+    """Write a graph as a SNAP-style edge list."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
+        edge_arr = graph.edge_array()
+        np.savetxt(handle, edge_arr, fmt="%d\t%d")
+
+
+def save_npz(graph: DiGraph, path: str | os.PathLike[str]) -> None:
+    """Save the CSR arrays into a compressed ``.npz`` snapshot."""
+    np.savez_compressed(
+        Path(path), indptr=graph.indptr, indices=graph.indices
+    )
+
+
+def load_npz(path: str | os.PathLike[str]) -> DiGraph:
+    """Load a graph previously stored with :func:`save_npz`."""
+    try:
+        with np.load(Path(path)) as data:
+            return DiGraph(data["indptr"], data["indices"])
+    except KeyError as exc:
+        raise GraphFormatError(
+            f"{path}: missing CSR arrays; not a repro graph snapshot"
+        ) from exc

@@ -1,0 +1,29 @@
+"""PageRank solvers and the paper's baselines."""
+
+from .async_pr import AsyncPageRank, async_pagerank
+from .exact import PowerIterationResult, exact_pagerank, pagerank_operator
+from .graphlab_pr import (
+    GraphLabPageRank,
+    GraphLabPageRankResult,
+    graphlab_pagerank,
+)
+from .montecarlo import monte_carlo_pagerank, simulate_walkers
+from .push import PushResult, forward_push_pagerank
+from .sparsified import sparsified_pagerank, sparsify_uniform
+
+__all__ = [
+    "exact_pagerank",
+    "pagerank_operator",
+    "PowerIterationResult",
+    "GraphLabPageRank",
+    "GraphLabPageRankResult",
+    "graphlab_pagerank",
+    "sparsify_uniform",
+    "sparsified_pagerank",
+    "monte_carlo_pagerank",
+    "simulate_walkers",
+    "PushResult",
+    "forward_push_pagerank",
+    "AsyncPageRank",
+    "async_pagerank",
+]

@@ -1,0 +1,103 @@
+"""Monte-Carlo PageRank baselines (Avrachenkov et al., cited in §2.4).
+
+The classic random-walk estimator starts ``R`` walkers *per vertex*
+(Θ(n) walkers total) and lets each run until its geometric death —
+"one iteration is sufficient" for a good global approximation.  FrogWild
+differs in two ways the paper calls out: it uses o(n) walkers (enough
+for the top-k, not for the tail) and imposes a hard iteration cut-off
+instead of waiting for the last walker.
+
+This module provides the classic estimator as an algorithmic baseline
+and the shared :func:`simulate_walkers` primitive, also used by tests
+and theory validation to sample the chain of Definition 1 directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph import DiGraph
+
+__all__ = ["simulate_walkers", "monte_carlo_pagerank"]
+
+
+def simulate_walkers(
+    graph: DiGraph,
+    start: np.ndarray,
+    p_teleport: float = 0.15,
+    max_steps: int | None = None,
+    rng: np.random.Generator | None = None,
+    teleport_restarts: bool = False,
+) -> np.ndarray:
+    """Walk all ``start`` positions until death (or ``max_steps``).
+
+    With ``teleport_restarts=False`` (Process 15 of the paper) a walker
+    *dies* at teleportation time and its final position is returned.
+    With ``teleport_restarts=True`` walkers jump to a uniform vertex and
+    continue — the literal chain Q of Definition 1 — in which case
+    ``max_steps`` must be given and positions after that many steps are
+    returned.
+
+    Returns the array of final positions, aligned with ``start``.
+    """
+    if not 0.0 < p_teleport < 1.0:
+        raise ConfigError("p_teleport must lie in (0, 1)")
+    if teleport_restarts and max_steps is None:
+        raise ConfigError("teleport_restarts=True requires max_steps")
+    rng = rng or np.random.default_rng()
+    n = graph.num_vertices
+    indptr, indices = graph.indptr, graph.indices
+    out_deg = np.diff(indptr)
+
+    positions = np.asarray(start, dtype=np.int64).copy()
+    alive = np.ones(positions.size, dtype=bool)
+    step = 0
+    while alive.any():
+        if max_steps is not None and step >= max_steps:
+            break
+        step += 1
+        idx = np.flatnonzero(alive)
+        pos = positions[idx]
+        coin = rng.random(idx.size) < p_teleport
+        if teleport_restarts:
+            teleported = idx[coin]
+            positions[teleported] = rng.integers(0, n, size=teleported.size)
+        else:
+            alive[idx[coin]] = False
+        movers = idx[~coin]
+        pos = positions[movers]
+        deg = out_deg[pos]
+        can_move = deg > 0
+        movers = movers[can_move]
+        pos = pos[can_move]
+        deg = deg[can_move]
+        pick = indptr[pos] + (rng.random(movers.size) * deg).astype(np.int64)
+        positions[movers] = indices[pick]
+    return positions
+
+
+def monte_carlo_pagerank(
+    graph: DiGraph,
+    walkers_per_vertex: int = 1,
+    p_teleport: float = 0.15,
+    max_steps: int = 200,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Classic Θ(n)-walker Monte-Carlo PageRank estimate.
+
+    Each vertex launches ``walkers_per_vertex`` walkers; every walker
+    runs to its geometric death and its endpoint is tallied.  Returns
+    the normalized endpoint histogram (an unbiased estimate of pi as
+    walkers → ∞).
+    """
+    if walkers_per_vertex < 1:
+        raise ConfigError("walkers_per_vertex must be positive")
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    start = np.repeat(np.arange(n, dtype=np.int64), walkers_per_vertex)
+    finals = simulate_walkers(
+        graph, start, p_teleport=p_teleport, max_steps=max_steps, rng=rng
+    )
+    histogram = np.bincount(finals, minlength=n).astype(np.float64)
+    return histogram / histogram.sum()

@@ -1,0 +1,61 @@
+"""Computable forms of the paper's theorems and bounds."""
+
+from .bounds import (
+    empirical_intersection_probability,
+    intersection_probability_bound,
+    mixing_loss_bound,
+    recommended_frogs,
+    recommended_iterations,
+    sampling_loss_bound,
+    theorem1_epsilon,
+)
+from .contrast import (
+    chi2_contrast,
+    chi2_mixing_bound,
+    l1_from_chi2,
+    uniform_contrast_bound,
+)
+from .mixing import (
+    chi2_mixing_curve,
+    empirical_mixing_time,
+    google_matrix,
+    second_eigenvalue,
+    total_variation,
+    tv_mixing_curve,
+    walk_distribution,
+)
+from .powerlaw import (
+    expected_max,
+    fit_tail_exponent,
+    max_bound,
+    max_bound_failure_probability,
+    sample_powerlaw_simplex,
+    theorem2_with_powerlaw,
+)
+
+__all__ = [
+    "mixing_loss_bound",
+    "sampling_loss_bound",
+    "theorem1_epsilon",
+    "intersection_probability_bound",
+    "recommended_iterations",
+    "recommended_frogs",
+    "empirical_intersection_probability",
+    "chi2_contrast",
+    "uniform_contrast_bound",
+    "chi2_mixing_bound",
+    "l1_from_chi2",
+    "max_bound",
+    "max_bound_failure_probability",
+    "expected_max",
+    "sample_powerlaw_simplex",
+    "fit_tail_exponent",
+    "theorem2_with_powerlaw",
+    "google_matrix",
+    "second_eigenvalue",
+    "walk_distribution",
+    "total_variation",
+    "tv_mixing_curve",
+    "chi2_mixing_curve",
+    "empirical_mixing_time",
+]

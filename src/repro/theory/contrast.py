@@ -1,0 +1,59 @@
+"""χ²-contrast machinery (Definitions 12–14 of the paper's appendix).
+
+The convergence half of Theorem 1 rests on the contrast bound for
+non-reversible chains (Bremaud): the χ²-divergence of the walk's
+distribution from pi decays geometrically with rate ``1 - p_T`` because
+the Google matrix's second eigenvalue is at most ``1 - p_T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "chi2_contrast",
+    "uniform_contrast_bound",
+    "chi2_mixing_bound",
+    "l1_from_chi2",
+]
+
+
+def chi2_contrast(alpha: np.ndarray, beta: np.ndarray) -> float:
+    """χ²(α; β) = Σ (α_i − β_i)² / β_i (Definition 12).
+
+    Requires ``beta`` strictly positive wherever ``alpha`` or ``beta``
+    carries mass.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    if alpha.shape != beta.shape:
+        raise ConfigError("distributions must have equal shape")
+    if np.any(beta <= 0):
+        raise ConfigError("reference distribution must be strictly positive")
+    diff = alpha - beta
+    return float((diff * diff / beta).sum())
+
+
+def uniform_contrast_bound(c: float) -> float:
+    """Lemma 13: χ²(u; pi) ≤ (1 − c) / c when min_i pi(i) ≥ c / n."""
+    if not 0.0 < c <= 1.0:
+        raise ConfigError("c must lie in (0, 1]")
+    return (1.0 - c) / c
+
+
+def chi2_mixing_bound(p_teleport: float, t: int) -> float:
+    """Lemma 14: χ²(pi_t; pi) ≤ ((1 − p_T)/p_T)(1 − p_T)^t."""
+    if not 0.0 < p_teleport < 1.0:
+        raise ConfigError("p_teleport must lie in (0, 1)")
+    if t < 0:
+        raise ConfigError("t must be non-negative")
+    return ((1.0 - p_teleport) / p_teleport) * (1.0 - p_teleport) ** t
+
+
+def l1_from_chi2(chi2: float) -> float:
+    """‖α − β‖₁ ≤ sqrt(χ²(α; β)) (Cauchy–Schwarz, used in Lemma 17)."""
+    if chi2 < 0:
+        raise ConfigError("chi-squared contrast cannot be negative")
+    return float(np.sqrt(chi2))

@@ -1,0 +1,170 @@
+"""Mixing analysis of the PageRank chain (the machinery behind Lemma 14).
+
+The convergence half of Theorem 1 rests on the Google matrix's spectral
+gap: ``|lambda_2(Q)| <= 1 - p_T`` (Haveliwala & Kamvar; the paper cites
+[18, 15, 32] in the proof of Lemma 14).  This module makes those
+quantities *computable* on small graphs so the tests can check the
+theory against the linear algebra:
+
+* the dense Google matrix ``Q`` itself,
+* its second-largest eigenvalue modulus,
+* the walk distribution ``pi_t = Q^t u`` for any horizon,
+* total-variation and chi-squared distance curves versus ``pi``,
+* the empirical mixing time (first ``t`` with TV below a threshold).
+
+Dense routines guard against graphs too large to eigendecompose; the
+distance curves also work at scale through the sparse operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, GraphError
+from ..graph import DiGraph
+from ..pagerank.exact import exact_pagerank, pagerank_operator
+from .contrast import chi2_contrast
+
+__all__ = [
+    "google_matrix",
+    "second_eigenvalue",
+    "walk_distribution",
+    "total_variation",
+    "tv_mixing_curve",
+    "chi2_mixing_curve",
+    "empirical_mixing_time",
+]
+
+_DENSE_LIMIT = 4_000_000  # n*n entries
+
+
+def google_matrix(graph: DiGraph, p_teleport: float = 0.15) -> np.ndarray:
+    """Dense ``Q = (1 - p_T) P + (p_T / n) 1`` (Definition 1).
+
+    Small graphs only (tests and theory validation); dangling columns
+    are repaired with uniform teleportation, matching the exact solver.
+    """
+    if not 0.0 < p_teleport < 1.0:
+        raise ConfigError("p_teleport must lie in (0, 1)")
+    n = graph.num_vertices
+    if n * n > _DENSE_LIMIT:
+        raise GraphError(
+            f"dense Google matrix for n={n} exceeds the size guard; "
+            "use the sparse curves instead"
+        )
+    out_deg = np.asarray(graph.out_degree(), dtype=np.float64)
+    p = np.zeros((n, n), dtype=np.float64)
+    sources = graph.edge_sources()
+    nonzero = out_deg[sources] > 0
+    p[graph.indices[nonzero], sources[nonzero]] = (
+        1.0 / out_deg[sources[nonzero]]
+    )
+    dangling = out_deg == 0
+    if dangling.any():
+        p[:, dangling] = 1.0 / n
+    return (1.0 - p_teleport) * p + p_teleport / n
+
+
+def second_eigenvalue(graph: DiGraph, p_teleport: float = 0.15) -> float:
+    """``|lambda_2(Q)|`` — provably at most ``1 - p_T``."""
+    q = google_matrix(graph, p_teleport)
+    magnitudes = np.sort(np.abs(np.linalg.eigvals(q)))[::-1]
+    if magnitudes.size < 2:
+        return 0.0
+    return float(magnitudes[1])
+
+
+def walk_distribution(
+    graph: DiGraph,
+    t: int,
+    p_teleport: float = 0.15,
+    start: np.ndarray | None = None,
+) -> np.ndarray:
+    """``pi_t = Q^t start`` via the sparse operator (uniform default)."""
+    if t < 0:
+        raise ConfigError("t must be non-negative")
+    if not 0.0 < p_teleport < 1.0:
+        raise ConfigError("p_teleport must lie in (0, 1)")
+    n = graph.num_vertices
+    if start is None:
+        pi_t = np.full(n, 1.0 / n)
+    else:
+        pi_t = np.asarray(start, dtype=np.float64).copy()
+        if pi_t.shape != (n,):
+            raise ConfigError(f"start must have shape ({n},)")
+        if pi_t.min() < 0 or not np.isclose(pi_t.sum(), 1.0):
+            raise ConfigError("start must be a probability distribution")
+    operator = pagerank_operator(graph)
+    dangling = np.asarray(graph.out_degree()) == 0
+    for _ in range(t):
+        spread = operator @ pi_t
+        if dangling.any():
+            spread = spread + pi_t[dangling].sum() / n
+        pi_t = (1.0 - p_teleport) * spread + p_teleport / n
+    return pi_t
+
+
+def total_variation(alpha: np.ndarray, beta: np.ndarray) -> float:
+    """``TV(alpha, beta) = 0.5 * ||alpha - beta||_1``."""
+    alpha = np.asarray(alpha, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    if alpha.shape != beta.shape:
+        raise ConfigError("distributions must have equal shape")
+    return float(0.5 * np.abs(alpha - beta).sum())
+
+
+def _distance_curve(
+    graph: DiGraph, t_max: int, p_teleport: float, metric
+) -> list[float]:
+    if t_max < 0:
+        raise ConfigError("t_max must be non-negative")
+    pi = exact_pagerank(graph, p_teleport=p_teleport)
+    n = graph.num_vertices
+    operator = pagerank_operator(graph)
+    dangling = np.asarray(graph.out_degree()) == 0
+    pi_t = np.full(n, 1.0 / n)
+    curve = [metric(pi_t, pi)]
+    for _ in range(t_max):
+        spread = operator @ pi_t
+        if dangling.any():
+            spread = spread + pi_t[dangling].sum() / n
+        pi_t = (1.0 - p_teleport) * spread + p_teleport / n
+        curve.append(metric(pi_t, pi))
+    return curve
+
+
+def tv_mixing_curve(
+    graph: DiGraph, t_max: int, p_teleport: float = 0.15
+) -> list[float]:
+    """``TV(pi_t, pi)`` for ``t = 0 .. t_max`` from the uniform start."""
+    return _distance_curve(graph, t_max, p_teleport, total_variation)
+
+
+def chi2_mixing_curve(
+    graph: DiGraph, t_max: int, p_teleport: float = 0.15
+) -> list[float]:
+    """``chi2(pi_t; pi)`` for ``t = 0 .. t_max`` — the quantity Lemma 14
+    bounds by ``((1 - p_T)/p_T)(1 - p_T)^t``."""
+    return _distance_curve(graph, t_max, p_teleport, chi2_contrast)
+
+
+def empirical_mixing_time(
+    graph: DiGraph,
+    epsilon: float = 0.01,
+    p_teleport: float = 0.15,
+    t_max: int = 200,
+) -> int:
+    """Smallest ``t`` with ``TV(pi_t, pi) <= epsilon``.
+
+    Raises when ``t_max`` steps do not suffice (they always do for
+    valid inputs: TV contracts at least as fast as ``(1 - p_T)^t``).
+    """
+    if epsilon <= 0:
+        raise ConfigError("epsilon must be positive")
+    curve = tv_mixing_curve(graph, t_max, p_teleport)
+    for t, distance in enumerate(curve):
+        if distance <= epsilon:
+            return t
+    raise ConfigError(
+        f"not mixed to TV <= {epsilon} within {t_max} steps"
+    )  # pragma: no cover - unreachable for valid p_teleport

@@ -1,0 +1,120 @@
+"""Power-law facts used by the paper (Proposition 7 and Section 2.3).
+
+PageRank values of web-scale graphs follow a power law with tail
+exponent θ ≈ 2.2 (Becchetti & Castillo); Proposition 7 turns that into
+a high-probability bound on ‖pi‖∞, which feeds Theorem 2's intersection
+probability.  This module computes the bound, samples synthetic
+power-law PageRank-like vectors for validation, and fits θ from data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "max_bound",
+    "max_bound_failure_probability",
+    "expected_max",
+    "sample_powerlaw_simplex",
+    "fit_tail_exponent",
+    "theorem2_with_powerlaw",
+]
+
+
+def max_bound(n: int, gamma: float = 0.5) -> float:
+    """The Proposition 7 bound value ``n^{-gamma}`` on ‖pi‖∞."""
+    if n < 1:
+        raise ConfigError("n must be positive")
+    if gamma <= 0:
+        raise ConfigError("gamma must be positive")
+    return float(n) ** (-gamma)
+
+
+def max_bound_failure_probability(
+    n: int, theta: float = 2.2, gamma: float = 0.5, c: float = 1.0
+) -> float:
+    """P(‖pi‖∞ > n^{-gamma}) ≤ c · n^{gamma − 1/(θ−1)} (Proposition 7).
+
+    The universal constant is not pinned down by the paper; ``c = 1``
+    reproduces its asymptotic statement.  Vanishes with n whenever
+    ``gamma < 1/(θ−1)`` — e.g. γ = 0.5, θ = 2.2 gives exponent −1/3.
+
+    Reproduction note: for *simplex-normalized* draws with minimum
+    ``p_T/n`` (i.e. actual PageRank-like vectors, see
+    :func:`sample_powerlaw_simplex`), ``E[max] = Θ(p_T n^{-(θ-2)/(θ-1)})``
+    by Newman's extreme-value result, so the event ``max ≤ n^{-gamma}``
+    is only typical for ``gamma < (θ-2)/(θ-1)`` (≈ 0.167 at θ = 2.2) —
+    tighter than the paper's illustrative γ = 0.5.  The paper's claim
+    appears to track the un-normalized draw scale; we keep its formula
+    verbatim and validate at γ in the empirically valid range.
+    """
+    if theta <= 1.0:
+        raise ConfigError("theta must exceed 1")
+    if gamma <= 0:
+        raise ConfigError("gamma must be positive")
+    exponent = gamma - 1.0 / (theta - 1.0)
+    return min(1.0, c * float(n) ** exponent)
+
+
+def expected_max(n: int, theta: float = 2.2, scale: float = 1.0) -> float:
+    """E[max of n iid power-law draws] = Θ(n^{1/(θ−1)}) · scale
+    (Newman 2005, used in the proof of Proposition 7)."""
+    if theta <= 1.0:
+        raise ConfigError("theta must exceed 1")
+    return scale * float(n) ** (1.0 / (theta - 1.0))
+
+
+def sample_powerlaw_simplex(
+    n: int,
+    theta: float = 2.2,
+    min_value: float | None = None,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Sample a probability vector whose entries follow a power law.
+
+    Draws n iid Pareto(θ) values with minimum ``min_value`` (default
+    ``0.15 / n``, matching the paper's ``p_T / n`` PageRank floor) and
+    normalizes onto the simplex.
+    """
+    if n < 1:
+        raise ConfigError("n must be positive")
+    if theta <= 1.0:
+        raise ConfigError("theta must exceed 1")
+    floor = min_value if min_value is not None else 0.15 / n
+    if floor <= 0:
+        raise ConfigError("min_value must be positive")
+    rng = np.random.default_rng(seed)
+    draws = floor * (1.0 - rng.random(n)) ** (-1.0 / (theta - 1.0))
+    return draws / draws.sum()
+
+
+def fit_tail_exponent(values: np.ndarray, tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the tail exponent θ of ``values``.
+
+    Fits on the largest ``tail_fraction`` of the entries; returns nan
+    when fewer than 10 tail samples are available.
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ConfigError("tail_fraction must lie in (0, 1]")
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    values = values[values > 0]
+    tail_size = max(int(values.size * tail_fraction), 2)
+    tail = values[-tail_size:]
+    if tail.size < 10:
+        return float("nan")
+    x_min = tail[0]
+    return float(1.0 + tail.size / np.log(tail / x_min).sum())
+
+
+def theorem2_with_powerlaw(
+    n: int, t: int, theta: float = 2.2, gamma: float = 0.5,
+    p_teleport: float = 0.15,
+) -> float:
+    """Theorem 2 + Proposition 7 combined: the paper's
+    ``p∩(t) ≤ 1/n + t/(p_T sqrt(n))`` form (for γ = 0.5)."""
+    if t < 0:
+        raise ConfigError("t must be non-negative")
+    bound = max_bound(n, gamma)
+    return min(1.0, 1.0 / n + t * bound / p_teleport)

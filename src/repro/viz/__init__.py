@@ -1,0 +1,19 @@
+"""Terminal (ASCII) rendering of experiment series and paper figures."""
+
+from .adapters import figure_chart, rows_to_series
+from .canvas import Canvas
+from .charts import Series, bar_chart, line_chart, scatter_chart
+from .scale import LinearScale, LogScale, make_scale
+
+__all__ = [
+    "Canvas",
+    "Series",
+    "scatter_chart",
+    "line_chart",
+    "bar_chart",
+    "LinearScale",
+    "LogScale",
+    "make_scale",
+    "rows_to_series",
+    "figure_chart",
+]

@@ -1,0 +1,90 @@
+"""Adapters from experiment rows to chart series.
+
+Experiment rows (anything with ``as_dict()``, e.g.
+:class:`repro.experiments.ExperimentRow`) are grouped by their algorithm
+label and turned into :class:`~repro.viz.charts.Series`, ready for the
+scatter/line renderers.  This module is what lets the CLI draw a paper
+figure straight into the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .charts import Series, line_chart, scatter_chart
+
+__all__ = ["rows_to_series", "figure_chart"]
+
+
+def _row_dict(row) -> dict:
+    return row.as_dict() if hasattr(row, "as_dict") else dict(row)
+
+
+def rows_to_series(
+    rows,
+    x: str,
+    y: str,
+    group_by: str = "algorithm",
+) -> list[Series]:
+    """Group rows by ``group_by`` and extract aligned (x, y) vectors.
+
+    Rows missing either column are skipped; a group whose every row was
+    skipped is dropped.  Raises if nothing remains.
+    """
+    groups: dict[str, tuple[list[float], list[float]]] = {}
+    for row in rows:
+        data = _row_dict(row)
+        if x not in data or y not in data:
+            continue
+        x_value, y_value = data[x], data[y]
+        if x_value is None or y_value is None:
+            continue
+        label = str(data.get(group_by, ""))
+        xs, ys = groups.setdefault(label, ([], []))
+        xs.append(float(x_value))
+        ys.append(float(y_value))
+    series = [
+        Series(label, np.asarray(xs), np.asarray(ys))
+        for label, (xs, ys) in groups.items()
+        if xs
+    ]
+    if not series:
+        raise ConfigError(
+            f"no rows carry both {x!r} and {y!r}; "
+            "check the column names against row.as_dict()"
+        )
+    return series
+
+
+def figure_chart(
+    figure_result,
+    x: str,
+    y: str,
+    kind: str = "scatter",
+    log_x: bool = False,
+    log_y: bool = False,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render one paper figure's rows as an ASCII chart.
+
+    ``figure_result`` is a :class:`repro.experiments.FigureResult`;
+    ``x``/``y`` name columns of ``ExperimentRow.as_dict()`` (e.g.
+    ``"total_time_s"``, ``"network_bytes"``, ``"mass@100"``).
+    """
+    if kind not in ("scatter", "line"):
+        raise ConfigError(f"kind must be 'scatter' or 'line', got {kind!r}")
+    series = rows_to_series(figure_result.rows, x, y)
+    renderer = scatter_chart if kind == "scatter" else line_chart
+    title = f"Figure {figure_result.figure_id}: {figure_result.title}"
+    return renderer(
+        series,
+        width=width,
+        height=height,
+        log_x=log_x,
+        log_y=log_y,
+        title=title,
+        x_label=x,
+        y_label=y,
+    )

@@ -1,0 +1,76 @@
+"""A fixed-size character grid with primitive drawing operations.
+
+Coordinates are ``(column, row)`` with the origin at the **top left**
+(text order).  Chart renderers convert data coordinates (origin bottom
+left) before plotting.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["Canvas"]
+
+
+class Canvas:
+    """Mutable character grid rendered row by row."""
+
+    def __init__(self, width: int, height: int, fill: str = " ") -> None:
+        if width < 1 or height < 1:
+            raise ConfigError("canvas dimensions must be positive")
+        if len(fill) != 1:
+            raise ConfigError("fill must be a single character")
+        self.width = width
+        self.height = height
+        self._rows = [[fill] * width for _ in range(height)]
+
+    def put(self, col: int, row: int, char: str) -> None:
+        """Place one character; silently clips out-of-bounds points."""
+        if len(char) != 1:
+            raise ConfigError("put() takes a single character")
+        if 0 <= col < self.width and 0 <= row < self.height:
+            self._rows[row][col] = char
+
+    def get(self, col: int, row: int) -> str:
+        if not (0 <= col < self.width and 0 <= row < self.height):
+            raise ConfigError(f"({col}, {row}) outside canvas")
+        return self._rows[row][col]
+
+    def text(self, col: int, row: int, s: str) -> None:
+        """Write a string left to right starting at (col, row), clipped."""
+        for offset, char in enumerate(s):
+            self.put(col + offset, row, char)
+
+    def hline(self, row: int, char: str = "-") -> None:
+        for col in range(self.width):
+            self.put(col, row, char)
+
+    def vline(self, col: int, char: str = "|") -> None:
+        for row in range(self.height):
+            self.put(col, row, char)
+
+    def segment(
+        self, col0: int, row0: int, col1: int, row1: int, char: str
+    ) -> None:
+        """Draw a line segment with Bresenham's algorithm (clipped)."""
+        dc = abs(col1 - col0)
+        dr = abs(row1 - row0)
+        step_c = 1 if col0 < col1 else -1
+        step_r = 1 if row0 < row1 else -1
+        error = dc - dr
+        col, row = col0, row0
+        while True:
+            self.put(col, row, char)
+            if col == col1 and row == row1:
+                break
+            doubled = 2 * error
+            if doubled > -dr:
+                error -= dr
+                col += step_c
+            if doubled < dc:
+                error += dc
+                row += step_r
+
+    def render(self) -> str:
+        """The grid as newline-joined text, trailing spaces stripped."""
+        return "\n".join("".join(row).rstrip() for row in self._rows)

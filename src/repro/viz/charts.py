@@ -1,0 +1,249 @@
+"""ASCII chart renderers: scatter, line and bar charts.
+
+These render the same series the paper's figures plot, directly in the
+terminal — the CLI's ``--render`` flag and EXPERIMENTS.md use them.  The
+renderers take plain numeric series; the adapter that extracts series
+from experiment rows lives in :func:`repro.viz.figure_chart`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from .canvas import Canvas
+from .scale import make_scale
+
+__all__ = ["Series", "scatter_chart", "line_chart", "bar_chart"]
+
+_MARKERS = "*ox+#@%&"
+_Y_LABEL_WIDTH = 9
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled (x, y) series."""
+
+    label: str
+    xs: np.ndarray
+    ys: np.ndarray
+    marker: str | None = None
+
+    def __post_init__(self) -> None:
+        xs = np.asarray(self.xs, dtype=np.float64)
+        ys = np.asarray(self.ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ConfigError(
+                f"series {self.label!r}: xs/ys must be equal-length vectors"
+            )
+        object.__setattr__(self, "xs", xs)
+        object.__setattr__(self, "ys", ys)
+
+
+@dataclass
+class _Frame:
+    """Canvas plus the plot-region geometry and scales."""
+
+    canvas: Canvas
+    plot_left: int
+    plot_width: int
+    plot_height: int
+    x_scale: object = None
+    y_scale: object = None
+
+    def to_canvas(self, x_frac: float, y_frac: float) -> tuple[int, int]:
+        """Unit-square position -> canvas (col, row); row 0 is the top."""
+        col = self.plot_left + int(round(x_frac * (self.plot_width - 1)))
+        row = int(round((1.0 - y_frac) * (self.plot_height - 1)))
+        return col, row
+
+
+def _data_bounds(series: list[Series]) -> tuple[float, float, float, float]:
+    all_x = np.concatenate([s.xs for s in series if s.xs.size])
+    all_y = np.concatenate([s.ys for s in series if s.ys.size])
+    if all_x.size == 0:
+        raise ConfigError("cannot chart empty series")
+    return (
+        float(all_x.min()),
+        float(all_x.max()),
+        float(all_y.min()),
+        float(all_y.max()),
+    )
+
+
+def _build_frame(
+    series: list[Series],
+    width: int,
+    height: int,
+    log_x: bool,
+    log_y: bool,
+) -> _Frame:
+    if width < 24 or height < 6:
+        raise ConfigError("chart needs width >= 24 and height >= 6")
+    x_lo, x_hi, y_lo, y_hi = _data_bounds(series)
+    frame = _Frame(
+        canvas=Canvas(width, height),
+        plot_left=_Y_LABEL_WIDTH + 1,
+        plot_width=width - _Y_LABEL_WIDTH - 1,
+        plot_height=height - 2,
+    )
+    frame.x_scale = make_scale(x_lo, x_hi, log=log_x)
+    frame.y_scale = make_scale(y_lo, y_hi, log=log_y)
+    _draw_axes(frame)
+    return frame
+
+
+def _draw_axes(frame: _Frame) -> None:
+    canvas = frame.canvas
+    axis_row = frame.plot_height
+    for col in range(frame.plot_left, canvas.width):
+        canvas.put(col, axis_row, "-")
+    for row in range(frame.plot_height):
+        canvas.put(frame.plot_left - 1, row, "|")
+    canvas.put(frame.plot_left - 1, axis_row, "+")
+
+    # Y tick labels, right-aligned in the label gutter.
+    for tick in frame.y_scale.ticks(4):
+        frac = float(frame.y_scale.project(np.array([tick]))[0])
+        if not 0.0 <= frac <= 1.0:
+            continue
+        _, row = frame.to_canvas(0.0, frac)
+        label = frame.y_scale.format_tick(tick)[: _Y_LABEL_WIDTH - 1]
+        canvas.text(_Y_LABEL_WIDTH - 1 - len(label), row, label)
+        canvas.put(frame.plot_left - 1, row, "+")
+
+    # X tick labels on the bottom line.
+    last_end = -2
+    for tick in frame.x_scale.ticks(5):
+        frac = float(frame.x_scale.project(np.array([tick]))[0])
+        if not 0.0 <= frac <= 1.0:
+            continue
+        col, _ = frame.to_canvas(frac, 0.0)
+        canvas.put(col, axis_row, "+")
+        label = frame.x_scale.format_tick(tick)
+        start = min(col - len(label) // 2, canvas.width - len(label))
+        if start > last_end + 1:
+            canvas.text(start, axis_row + 1, label)
+            last_end = start + len(label)
+
+
+def _plot_series(
+    frame: _Frame, series: list[Series], connect: bool
+) -> list[str]:
+    """Draw every series; returns the legend marker per series."""
+    markers = []
+    for index, one in enumerate(series):
+        marker = one.marker or _MARKERS[index % len(_MARKERS)]
+        markers.append(marker)
+        x_frac = np.clip(frame.x_scale.project(one.xs), 0.0, 1.0)
+        y_frac = np.clip(frame.y_scale.project(one.ys), 0.0, 1.0)
+        points = [
+            frame.to_canvas(float(xf), float(yf))
+            for xf, yf in zip(x_frac, y_frac)
+        ]
+        if connect and len(points) > 1:
+            order = np.argsort(one.xs, kind="stable")
+            ordered = [points[i] for i in order]
+            for (c0, r0), (c1, r1) in zip(ordered, ordered[1:]):
+                frame.canvas.segment(c0, r0, c1, r1, ".")
+        for col, row in points:
+            frame.canvas.put(col, row, marker)
+    return markers
+
+
+def _compose(
+    frame: _Frame,
+    series: list[Series],
+    markers: list[str],
+    title: str | None,
+    x_label: str | None,
+    y_label: str | None,
+) -> str:
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}]")
+    lines.append(frame.canvas.render())
+    if x_label:
+        lines.append(f"{' ' * frame.plot_left}[x: {x_label}]")
+    if len(series) > 1 or series[0].label:
+        for marker, one in zip(markers, series):
+            if one.label:
+                lines.append(f"  {marker} {one.label}")
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    series: list[Series],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str | None = None,
+    y_label: str | None = None,
+) -> str:
+    """Render labelled point clouds — the paper's Figures 3, 4, 5, 7."""
+    if not series:
+        raise ConfigError("scatter_chart needs at least one series")
+    frame = _build_frame(series, width, height, log_x, log_y)
+    markers = _plot_series(frame, series, connect=False)
+    return _compose(frame, series, markers, title, x_label, y_label)
+
+
+def line_chart(
+    series: list[Series],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str | None = None,
+    y_label: str | None = None,
+) -> str:
+    """Render series connected in x order — Figures 1, 2, 6, 8."""
+    if not series:
+        raise ConfigError("line_chart needs at least one series")
+    frame = _build_frame(series, width, height, log_x, log_y)
+    markers = _plot_series(frame, series, connect=True)
+    return _compose(frame, series, markers, title, x_label, y_label)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float] | np.ndarray,
+    width: int = 72,
+    title: str | None = None,
+    log: bool = False,
+) -> str:
+    """Horizontal bar chart with one row per labelled value."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != values.size:
+        raise ConfigError("labels and values must align")
+    if values.size == 0:
+        raise ConfigError("bar_chart needs at least one value")
+    if values.min() < 0:
+        raise ConfigError("bar_chart values must be non-negative")
+    if log and values.min() <= 0:
+        raise ConfigError("log bar_chart needs positive values")
+
+    label_width = max(len(label) for label in labels)
+    value_texts = [f"{v:g}" for v in values]
+    value_width = max(len(t) for t in value_texts)
+    bar_space = width - label_width - value_width - 4
+    if bar_space < 5:
+        raise ConfigError("width too small for these labels")
+
+    scale = make_scale(0.0 if not log else float(values.min()),
+                       float(values.max()), log=log)
+    fractions = np.clip(scale.project(values), 0.0, 1.0)
+    lines = [title] if title else []
+    for label, value_text, frac in zip(labels, value_texts, fractions):
+        bar = "#" * max(int(round(frac * bar_space)), 1 if frac > 0 else 0)
+        lines.append(
+            f"{label.rjust(label_width)} |{bar.ljust(bar_space)} {value_text}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Axis scales: map data values onto the unit interval, with ticks.
+
+The chart renderers (:mod:`repro.viz.charts`) are scale-agnostic; they
+ask a scale to project values into ``[0, 1]`` and to propose tick
+positions.  Two scales cover everything the paper plots: linear axes
+and the log axes of Figures 1, 3, 6 and 7.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["LinearScale", "LogScale", "make_scale"]
+
+
+def _nice_step(span: float, target_ticks: int) -> float:
+    """Largest 1/2/5 x 10^k step yielding at least ``target_ticks``."""
+    if span <= 0:
+        return 1.0
+    raw = span / max(target_ticks, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for multiplier in (1.0, 2.0, 5.0, 10.0):
+        if raw <= multiplier * magnitude:
+            return multiplier * magnitude
+    return 10.0 * magnitude
+
+
+class LinearScale:
+    """Affine map of ``[lo, hi]`` onto ``[0, 1]``."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if not np.isfinite(lo) or not np.isfinite(hi):
+            raise ConfigError("scale bounds must be finite")
+        if hi < lo:
+            raise ConfigError(f"scale bounds inverted: [{lo}, {hi}]")
+        if hi == lo:
+            # Degenerate range: widen symmetrically so points land mid-axis.
+            pad = 1.0 if lo == 0 else abs(lo) * 0.5
+            lo, hi = lo - pad, hi + pad
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def project(self, values: np.ndarray) -> np.ndarray:
+        """Fractional positions of ``values`` along the axis."""
+        values = np.asarray(values, dtype=np.float64)
+        return (values - self.lo) / (self.hi - self.lo)
+
+    def ticks(self, target: int = 5) -> list[float]:
+        """Nice tick values covering the data range."""
+        step = _nice_step(self.hi - self.lo, target)
+        first = math.ceil(self.lo / step) * step
+        ticks = []
+        value = first
+        while value <= self.hi + step * 1e-9:
+            ticks.append(round(value, 12))
+            value += step
+        return ticks or [self.lo, self.hi]
+
+    def format_tick(self, value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            # Two significant digits so neighbouring ticks stay distinct.
+            return f"{value:.1e}".replace("e+0", "e").replace("e-0", "e-")
+        if abs(value) >= 10 and float(value).is_integer():
+            return f"{int(value)}"
+        return f"{value:g}"
+
+
+class LogScale:
+    """Log10 map of ``[lo, hi]`` (both positive) onto ``[0, 1]``."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if lo <= 0 or hi <= 0:
+            raise ConfigError(
+                f"log scale needs positive bounds, got [{lo}, {hi}]"
+            )
+        if hi < lo:
+            raise ConfigError(f"scale bounds inverted: [{lo}, {hi}]")
+        if hi == lo:
+            lo, hi = lo / 10.0, hi * 10.0
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def project(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.log10(values)
+        span = math.log10(self.hi) - math.log10(self.lo)
+        return (logs - math.log10(self.lo)) / span
+
+    def ticks(self, target: int = 5) -> list[float]:
+        """Decade ticks (thinned when the range spans many decades)."""
+        lo_exp = math.floor(math.log10(self.lo))
+        hi_exp = math.ceil(math.log10(self.hi))
+        exponents = list(range(lo_exp, hi_exp + 1))
+        stride = max(1, len(exponents) // max(target, 2))
+        return [10.0**e for e in exponents[::stride]]
+
+    def format_tick(self, value: float) -> str:
+        exponent = math.log10(value)
+        if exponent.is_integer():
+            return f"1e{int(exponent)}"
+        return f"{value:g}"
+
+
+def make_scale(lo: float, hi: float, log: bool = False):
+    """Build a :class:`LogScale` when ``log`` (and bounds allow), else
+    a :class:`LinearScale`."""
+    if log:
+        return LogScale(lo, hi)
+    return LinearScale(lo, hi)

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic graphs and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import build_cluster
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    from_edges,
+    star_graph,
+    twitter_like,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def diamond():
+    """0 -> {1, 2} -> 3 -> 0: a tiny strongly connected DAG-with-back-edge."""
+    return from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+
+
+@pytest.fixture
+def cycle10():
+    return cycle_graph(10)
+
+
+@pytest.fixture
+def star8():
+    return star_graph(8)
+
+
+@pytest.fixture
+def complete5():
+    return complete_graph(5)
+
+
+@pytest.fixture(scope="session")
+def small_twitter():
+    """A 1500-vertex power-law graph shared across test modules."""
+    return twitter_like(n=1500, seed=42)
+
+
+@pytest.fixture
+def small_cluster(small_twitter):
+    return build_cluster(small_twitter, num_machines=4, seed=0)

@@ -1,0 +1,157 @@
+"""Tests for the adaptive frog-budget runner (Remark 6 stopping rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveConfig,
+    FrogWildConfig,
+    run_adaptive_frogwild,
+    top_k_jaccard,
+)
+from repro.errors import ConfigError
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import exact_pagerank
+
+
+class TestTopKJaccard:
+    def test_identical_sets(self):
+        assert top_k_jaccard(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_disjoint_sets(self):
+        assert top_k_jaccard(np.array([1, 2]), np.array([3, 4])) == 0.0
+
+    def test_partial_overlap(self):
+        value = top_k_jaccard(np.array([1, 2, 3]), np.array([2, 3, 4]))
+        assert value == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert top_k_jaccard(np.array([]), np.array([])) == 1.0
+
+
+class TestAdaptiveConfigValidation:
+    def test_defaults_are_valid(self):
+        AdaptiveConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"pilot_frogs": 0},
+            {"growth_factor": 1.0},
+            {"max_frogs": 10, "pilot_frogs": 100},
+            {"stability_threshold": 0.0},
+            {"min_separation_z": -1.0},
+            {"max_rounds": 0},
+            {"delta": 0.0},
+            {"slack": 1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            AdaptiveConfig(**kwargs)
+
+
+class TestAdaptiveRun:
+    @pytest.fixture(scope="class")
+    def outcome(self, request):
+        graph = request.getfixturevalue("small_twitter")
+        return run_adaptive_frogwild(
+            graph,
+            AdaptiveConfig(
+                k=20,
+                pilot_frogs=1_000,
+                max_frogs=64_000,
+                stability_threshold=0.8,
+                min_separation_z=0.5,
+            ),
+            num_machines=4,
+            seed=0,
+        )
+
+    def test_runs_multiple_rounds(self, outcome):
+        assert len(outcome.rounds) >= 2
+
+    def test_frogs_grow_geometrically(self, outcome):
+        counts = [r.num_frogs for r in outcome.rounds]
+        assert all(b > a for a, b in zip(counts, counts[1:]))
+
+    def test_round_zero_is_pilot(self, outcome):
+        assert outcome.rounds[0].round_index == 0
+        assert outcome.rounds[0].num_frogs == 1_000
+
+    def test_final_answer_is_accurate(self, outcome, small_twitter):
+        truth = exact_pagerank(small_twitter)
+        mass = normalized_mass_captured(
+            outcome.estimate.vector(), truth, k=20
+        )
+        assert mass > 0.85
+
+    def test_totals_sum_rounds(self, outcome):
+        assert outcome.total_network_bytes() == sum(
+            r.network_bytes for r in outcome.rounds
+        )
+        assert outcome.total_frogs() == sum(
+            r.num_frogs for r in outcome.rounds
+        )
+        assert outcome.total_time_s() == pytest.approx(
+            sum(r.total_time_s for r in outcome.rounds)
+        )
+
+    def test_recommendations_positive(self, outcome):
+        assert outcome.recommended_frogs >= 1
+        assert outcome.recommended_iterations >= 1
+
+    def test_convergence_implies_stability(self, outcome):
+        if outcome.converged:
+            last = outcome.rounds[-1]
+            assert last.jaccard_with_previous >= 0.8
+            assert last.separation_z >= 0.5
+
+
+class TestAdaptiveEdgeCases:
+    def test_rejects_k_above_n(self, diamond):
+        with pytest.raises(ConfigError):
+            run_adaptive_frogwild(
+                diamond, AdaptiveConfig(k=100), num_machines=2
+            )
+
+    def test_single_round_budget_cap(self, small_twitter):
+        """With max_frogs == pilot_frogs the growth loop still runs but
+        every round is capped; the loop exits on the cap."""
+        outcome = run_adaptive_frogwild(
+            small_twitter,
+            AdaptiveConfig(
+                k=10,
+                pilot_frogs=500,
+                max_frogs=500,
+                max_rounds=4,
+                stability_threshold=1.0,
+                min_separation_z=100.0,  # unreachable: forces cap exit
+            ),
+            num_machines=4,
+            seed=0,
+        )
+        assert not outcome.converged
+        assert len(outcome.rounds) == 2  # pilot + one capped round
+
+    def test_respects_base_config_ps(self, small_twitter):
+        outcome = run_adaptive_frogwild(
+            small_twitter,
+            AdaptiveConfig(k=10, pilot_frogs=500, max_frogs=4_000),
+            base_config=FrogWildConfig(ps=0.5, seed=0),
+            num_machines=4,
+            seed=0,
+        )
+        assert "ps=0.5" in outcome.result.report.algorithm
+
+    def test_deterministic_given_seed(self, small_twitter):
+        config = AdaptiveConfig(k=10, pilot_frogs=500, max_frogs=8_000)
+        a = run_adaptive_frogwild(
+            small_twitter, config, num_machines=4, seed=3
+        )
+        b = run_adaptive_frogwild(
+            small_twitter, config, num_machines=4, seed=3
+        )
+        assert np.array_equal(a.estimate.counts, b.estimate.counts)
+        assert len(a.rounds) == len(b.rounds)

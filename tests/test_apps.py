@@ -1,0 +1,191 @@
+"""Unit tests for the application scenarios (paper Section 1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_cooccurrence_graph,
+    campaign_reach,
+    extract_keywords,
+    find_influencers,
+    generate_call_graph,
+    generate_social_network,
+    mixture_graph,
+    prediction_precision,
+    rank_key_users,
+    tokenize,
+)
+from repro.errors import ConfigError
+
+SAMPLE_TEXT = """
+Graph engines process massive graphs. A graph engine partitions the
+graph across machines, and the engine synchronizes vertex replicas.
+PageRank ranks vertices of the graph; approximate PageRank finds the
+heavy vertices quickly. Random walks approximate PageRank well when
+walks mix quickly. FrogWild runs random walks on graph engines with
+partial synchronization, saving network traffic while ranking the
+graph vertices accurately.
+"""
+
+
+class TestTokenize:
+    def test_lowercases_and_filters(self):
+        words = tokenize("The Quick Brown fox (and) a dog!")
+        assert words == ["quick", "brown", "fox", "dog"]
+
+    def test_min_length(self):
+        assert tokenize("ab abc abcd", min_length=4) == ["abcd"]
+
+    def test_stopwords_removed(self):
+        assert "the" not in tokenize("the cat and the hat")
+
+    def test_bad_min_length(self):
+        with pytest.raises(ConfigError):
+            tokenize("text", min_length=0)
+
+
+class TestCooccurrenceGraph:
+    def test_window_pairs(self):
+        graph, vocab = build_cooccurrence_graph(
+            ["alpha", "beta", "gamma"], window=1
+        )
+        assert vocab == ["alpha", "beta", "gamma"]
+        a, b, g = 0, 1, 2
+        assert graph.has_edge(a, b) and graph.has_edge(b, a)
+        assert graph.has_edge(b, g) and graph.has_edge(g, b)
+        assert not graph.has_edge(a, g)
+
+    def test_wider_window(self):
+        graph, _ = build_cooccurrence_graph(
+            ["alpha", "beta", "gamma"], window=2
+        )
+        assert graph.has_edge(0, 2)
+
+    def test_min_count_filters(self):
+        words = ["rare"] + ["common"] * 5 + ["frequent"] * 5
+        graph, vocab = build_cooccurrence_graph(words, min_count=2)
+        assert "rare" not in vocab
+
+    def test_needs_two_words(self):
+        with pytest.raises(ConfigError):
+            build_cooccurrence_graph(["solo", "solo"])
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigError):
+            build_cooccurrence_graph(["a1", "b2"], window=0)
+
+
+class TestKeywordExtraction:
+    def test_finds_central_words(self):
+        keywords = extract_keywords(SAMPLE_TEXT, k=5, method="exact")
+        words = [kw.word for kw in keywords]
+        assert "graph" in words
+        assert "pagerank" in words
+
+    def test_frogwild_agrees_with_exact(self):
+        exact = {kw.word for kw in extract_keywords(SAMPLE_TEXT, k=5, method="exact")}
+        approx = {
+            kw.word for kw in extract_keywords(SAMPLE_TEXT, k=5, method="frogwild")
+        }
+        assert len(exact & approx) >= 3
+
+    def test_scores_descending(self):
+        keywords = extract_keywords(SAMPLE_TEXT, k=6, method="frogwild")
+        scores = [kw.score for kw in keywords]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            extract_keywords(SAMPLE_TEXT, method="magic")
+
+
+class TestTelecom:
+    @pytest.fixture(scope="class")
+    def call_graph(self):
+        return generate_call_graph(num_customers=800, num_calls=8000, seed=0)
+
+    def test_generator_shape(self, call_graph):
+        assert call_graph.num_vertices == 800
+        assert call_graph.num_edges > 1000
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigError):
+            generate_call_graph(num_customers=1)
+        with pytest.raises(ConfigError):
+            generate_call_graph(num_calls=0)
+        with pytest.raises(ConfigError):
+            generate_call_graph(popularity_mix=2.0)
+
+    def test_find_influencers(self, call_graph):
+        report = find_influencers(call_graph, k=20)
+        assert report.influencers.shape == (20,)
+        assert np.all(np.diff(report.scores) <= 0)
+        assert report.network_bytes >= 0
+        assert len(report.top(5)) == 5
+
+    def test_influencers_beat_random_on_reach(self, call_graph):
+        report = find_influencers(call_graph, k=20)
+        rng = np.random.default_rng(0)
+        random_seeds = rng.choice(800, size=20, replace=False)
+        top_reach = campaign_reach(call_graph, report.influencers)
+        random_reach = campaign_reach(call_graph, random_seeds)
+        assert top_reach > random_reach
+
+    def test_reach_bounds(self, call_graph):
+        assert campaign_reach(call_graph, np.array([0]), hops=0) == pytest.approx(
+            1 / 800
+        )
+        with pytest.raises(ConfigError):
+            campaign_reach(call_graph, np.array([0]), hops=-1)
+
+    def test_k_validated(self, call_graph):
+        with pytest.raises(ConfigError):
+            find_influencers(call_graph, k=0)
+
+
+class TestOsn:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return generate_social_network(num_users=600, interactions=5000, seed=0)
+
+    def test_generator_shapes(self, network):
+        assert network.num_users == 600
+        assert network.activity.num_vertices == 600
+        assert network.engagement.shape == (600,)
+        assert network.engagement.max() == pytest.approx(1.0)
+
+    def test_mixture_graph_density(self, network):
+        mixed = mixture_graph(network, activity_weight=0.5, seed=0)
+        assert mixed.num_vertices == 600
+        assert mixed.num_edges > 0
+
+    def test_mixture_weight_bounds(self, network):
+        with pytest.raises(ConfigError):
+            mixture_graph(network, activity_weight=1.5)
+
+    def test_key_users_predict_activity(self, network):
+        predicted = rank_key_users(network, k=60, seed=0)
+        actual = network.future_active_users(fraction=0.1, seed=1)
+        precision = prediction_precision(predicted, actual)
+        # Baseline precision of a random guess is 0.1; require 2x that.
+        assert precision > 0.2
+
+    def test_activity_mixture_beats_pure_connectivity(self, network):
+        actual = network.future_active_users(fraction=0.1, seed=1)
+        with_activity = rank_key_users(
+            network, k=60, activity_weight=0.9, seed=0
+        )
+        without = rank_key_users(network, k=60, activity_weight=0.0, seed=0)
+        assert prediction_precision(with_activity, actual) >= (
+            prediction_precision(without, actual)
+        )
+
+    def test_precision_validation(self):
+        with pytest.raises(ConfigError):
+            prediction_precision(np.array([]), np.array([1]))
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigError):
+            generate_social_network(num_users=5)
+        with pytest.raises(ConfigError):
+            generate_social_network(num_users=100).future_active_users(0.0)

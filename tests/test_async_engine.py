@@ -1,0 +1,136 @@
+"""Tests for the asynchronous engine and async PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AsyncEngine, AsyncVertexProgram, build_cluster
+from repro.errors import ConfigError, EngineError
+from repro.graph import cycle_graph, twitter_like
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import AsyncPageRank, async_pagerank, exact_pagerank
+
+
+class _ConstantProgram(AsyncVertexProgram):
+    """Sets every vertex to a constant; converges after one pass."""
+
+    name = "constant"
+
+    def initial_data(self, state):
+        return np.zeros(state.num_vertices)
+
+    def update(self, vertex, gather_sum, data, state):
+        return 7.0, False  # never signal: one update per vertex
+
+
+class _CountingProgram(AsyncVertexProgram):
+    """Signals successors a fixed number of generations."""
+
+    name = "counting"
+
+    def __init__(self, generations):
+        self.generations = generations
+
+    def initial_data(self, state):
+        return np.zeros(state.num_vertices)
+
+    def initial_schedule(self, state):
+        return np.array([0], dtype=np.int64)
+
+    def update(self, vertex, gather_sum, data, state):
+        new = data[vertex] + 1.0
+        return new, new < self.generations
+
+
+class TestAsyncEngine:
+    def test_constant_program_one_update_per_vertex(self, small_cluster):
+        engine = AsyncEngine(small_cluster, _ConstantProgram())
+        report = engine.run()
+        assert engine.converged
+        assert engine.updates_executed == small_cluster.num_vertices
+        assert np.all(engine.data == 7.0)
+        assert report.extra["converged"] == 1.0
+
+    def test_signals_propagate(self):
+        graph = cycle_graph(10)
+        state = build_cluster(graph, 2, seed=0)
+        engine = AsyncEngine(state, _CountingProgram(generations=3))
+        engine.run()
+        # Vertex 0 started; signals circulate the ring until every
+        # visited vertex hit 3 generations.
+        assert engine.data is not None
+        assert engine.data.max() == 3.0
+
+    def test_max_updates_cap(self, small_cluster):
+        engine = AsyncEngine(small_cluster, _ConstantProgram())
+        report = engine.run(max_updates=10)
+        assert not engine.converged
+        assert engine.updates_executed == 10
+        assert report.extra["updates"] == 10.0
+
+    def test_rejects_bad_max_updates(self, small_cluster):
+        with pytest.raises(EngineError):
+            AsyncEngine(small_cluster, _ConstantProgram()).run(max_updates=0)
+
+    def test_rejects_negative_lock_ops(self, small_cluster):
+        with pytest.raises(EngineError):
+            AsyncEngine(small_cluster, _ConstantProgram(), lock_ops=-1)
+
+    def test_locking_costs_network(self, small_twitter):
+        """Lock protocol records appear on the wire when lock_ops > 0."""
+        locked_state = build_cluster(small_twitter, 4, seed=0)
+        AsyncEngine(locked_state, _ConstantProgram(), lock_ops=1).run()
+        lock_bytes = locked_state.fabric.snapshot().bytes_for("lock")
+        assert lock_bytes > 0
+
+        free_state = build_cluster(small_twitter, 4, seed=0)
+        AsyncEngine(free_state, _ConstantProgram(), lock_ops=0).run()
+        assert free_state.fabric.snapshot().bytes_for("lock") == 0
+
+    def test_no_barrier_cost(self, small_cluster):
+        """Async pays one epoch closure, not one barrier per update."""
+        engine = AsyncEngine(small_cluster, _ConstantProgram())
+        report = engine.run()
+        assert report.supersteps == 1
+
+
+class TestAsyncPageRank:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AsyncPageRank(p_teleport=0.0)
+        with pytest.raises(ConfigError):
+            AsyncPageRank(tolerance=0.0)
+
+    def test_converges_to_exact(self, small_twitter):
+        result = async_pagerank(
+            small_twitter, num_machines=4, tolerance=1e-5
+        )
+        truth = exact_pagerank(small_twitter)
+        mass = normalized_mass_captured(result.distribution(), truth, 50)
+        assert mass > 0.97
+
+    def test_tighter_tolerance_more_updates(self, small_twitter):
+        loose = async_pagerank(small_twitter, num_machines=4, tolerance=1e-2)
+        tight = async_pagerank(small_twitter, num_machines=4, tolerance=1e-5)
+        assert tight.report.extra["updates"] > loose.report.extra["updates"]
+
+    def test_dynamic_scheduling_skips_settled_vertices(self, small_twitter):
+        """Async update counts are residual-driven: dropping the
+        tolerance by 10x must NOT cost 10x the updates (settled
+        vertices stop being rescheduled)."""
+        loose = async_pagerank(small_twitter, num_machines=4, tolerance=1e-3)
+        tight = async_pagerank(small_twitter, num_machines=4, tolerance=1e-4)
+        ratio = tight.report.extra["updates"] / loose.report.extra["updates"]
+        assert ratio < 5.0
+
+    def test_cycle_uniform(self):
+        graph = cycle_graph(16)
+        result = async_pagerank(graph, num_machines=2, tolerance=1e-8)
+        assert np.allclose(result.distribution(), 1.0 / 16, atol=1e-4)
+
+    def test_report_fields(self, small_twitter):
+        result = async_pagerank(small_twitter, num_machines=4)
+        report = result.report
+        assert report.algorithm.startswith("async_pr")
+        assert report.network_bytes > 0
+        assert report.cpu_seconds > 0
+        assert report.total_time_s > 0

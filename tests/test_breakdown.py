@@ -1,0 +1,78 @@
+"""Tests for the per-phase traffic/CPU breakdown."""
+
+import pytest
+
+from repro.core import FrogWildConfig, run_frogwild
+from repro.engine import build_cluster, traffic_breakdown
+from repro.pagerank import graphlab_pagerank
+
+_CONFIG = FrogWildConfig(num_frogs=8_000, iterations=4, seed=0)
+
+
+class TestBreakdownBasics:
+    def test_empty_state_is_zero(self, small_cluster):
+        breakdown = traffic_breakdown(small_cluster)
+        assert breakdown.total_bytes == 0
+        assert breakdown.total_ops == 0
+        assert breakdown.byte_share("sync") == 0.0
+        assert breakdown.op_share("apply") == 0.0
+
+    def test_frogwild_kinds_present(self, small_twitter):
+        result = run_frogwild(small_twitter, _CONFIG, num_machines=4)
+        breakdown = traffic_breakdown(result.state)
+        assert breakdown.bytes_by_kind.get("sync", 0) > 0
+        assert breakdown.bytes_by_kind.get("scatter", 0) > 0
+        assert breakdown.total_bytes == result.report.network_bytes
+
+    def test_shares_sum_to_one(self, small_twitter):
+        result = run_frogwild(small_twitter, _CONFIG, num_machines=4)
+        breakdown = traffic_breakdown(result.state)
+        total = sum(
+            breakdown.byte_share(kind) for kind in breakdown.bytes_by_kind
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_ops_match_phases(self, small_twitter):
+        result = run_frogwild(small_twitter, _CONFIG, num_machines=4)
+        breakdown = traffic_breakdown(result.state)
+        assert set(breakdown.ops_by_phase) >= {"apply", "scatter", "sync"}
+        assert breakdown.total_ops > 0
+
+    def test_to_text_renders(self, small_twitter):
+        result = run_frogwild(small_twitter, _CONFIG, num_machines=4)
+        text = traffic_breakdown(result.state).to_text()
+        assert "network bytes by record kind:" in text
+        assert "sync" in text
+        assert "%" in text
+
+
+class TestMechanism:
+    def test_ps_attacks_the_sync_share(self, small_twitter):
+        """The paper's mechanism, verified at the phase level: lowering
+        ps shrinks the *sync* bytes specifically."""
+        sync_bytes = {}
+        for ps in (1.0, 0.2):
+            result = run_frogwild(
+                small_twitter,
+                _CONFIG.with_updates(ps=ps),
+                num_machines=4,
+            )
+            sync_bytes[ps] = traffic_breakdown(result.state).bytes_by_kind[
+                "sync"
+            ]
+        assert sync_bytes[0.2] < 0.5 * sync_bytes[1.0]
+
+    def test_gather_dominates_graphlab_pr(self, small_twitter):
+        """The baseline's bill is gather + sync over every in-edge —
+        together they dwarf scatter signals."""
+        state = build_cluster(small_twitter, 4, seed=0)
+        graphlab_pagerank(small_twitter, tolerance=1e-6, state=state)
+        breakdown = traffic_breakdown(state)
+        heavy = breakdown.byte_share("gather") + breakdown.byte_share("sync")
+        assert heavy > breakdown.byte_share("scatter")
+
+    def test_frogwild_has_no_gather_traffic(self, small_twitter):
+        """Frogs carry the state: FrogWild never runs a gather phase."""
+        result = run_frogwild(small_twitter, _CONFIG, num_machines=4)
+        breakdown = traffic_breakdown(result.state)
+        assert breakdown.bytes_by_kind.get("gather", 0) == 0

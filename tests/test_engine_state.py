@@ -1,0 +1,87 @@
+"""Unit tests for ClusterState and build_cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import RandomVertexCut
+from repro.engine import build_cluster
+from repro.errors import EngineError
+
+
+class TestBuildCluster:
+    def test_builds_consistent_state(self, small_twitter):
+        state = build_cluster(small_twitter, num_machines=4)
+        assert state.num_machines == 4
+        assert state.num_vertices == small_twitter.num_vertices
+        assert state.fabric.total_bytes() == 0
+        assert state.clock.elapsed_s == 0.0
+
+    def test_reuses_supplied_partition(self, small_twitter):
+        part = RandomVertexCut(seed=9).partition(small_twitter, 4)
+        state = build_cluster(small_twitter, 4, partition=part)
+        assert state.replication.partition is part
+
+    def test_rejects_partition_machine_mismatch(self, small_twitter):
+        part = RandomVertexCut(seed=9).partition(small_twitter, 4)
+        with pytest.raises(EngineError, match="targets 4 machines"):
+            build_cluster(small_twitter, 8, partition=part)
+
+
+class TestAccounting:
+    def test_charge_single(self, small_cluster):
+        small_cluster.charge(1, 10, phase="apply")
+        assert small_cluster.machines[1].cpu_ops == 10
+
+    def test_charge_many(self, small_cluster):
+        small_cluster.charge_many(np.array([1, 2, 3, 4]))
+        assert small_cluster.machines.total_cpu_ops() == 10
+
+    def test_charge_many_shape_checked(self, small_cluster):
+        with pytest.raises(EngineError, match="shape"):
+            small_cluster.charge_many(np.array([1, 2]))
+
+    def test_send_batched_counts_messages(self, small_cluster):
+        small_cluster.send_batched(0, 1, 5, "sync")
+        assert small_cluster.fabric.total_bytes() > 0
+
+    def test_send_pair_matrix(self, small_cluster):
+        records = np.zeros((4, 4), dtype=np.int64)
+        records[0, 1] = 3
+        records[2, 3] = 1
+        records[1, 1] = 100  # diagonal: local, free
+        small_cluster.send_pair_matrix(records, kind="sync")
+        model = small_cluster.fabric.size_model
+        assert small_cluster.fabric.total_bytes() == (
+            model.batch_bytes(3) + model.batch_bytes(1)
+        )
+
+    def test_send_pair_matrix_shape_checked(self, small_cluster):
+        with pytest.raises(EngineError):
+            small_cluster.send_pair_matrix(np.zeros((2, 2)), kind="x")
+
+
+class TestSuperstepBarrier:
+    def test_end_superstep_records_and_resets(self, small_cluster):
+        small_cluster.charge(0, 100, phase="apply")
+        small_cluster.send_batched(0, 1, 10, "sync")
+        small_cluster.end_superstep(active_vertices=50)
+
+        stats = small_cluster.stats
+        assert stats.num_supersteps == 1
+        step = stats.steps[0]
+        assert step.active == 50
+        assert step.cpu_ops == 100
+        assert step.bytes_sent > 0
+        assert step.sim_seconds > 0
+
+        # Accumulators reset; cumulative counters survive.
+        small_cluster.end_superstep(active_vertices=0)
+        assert small_cluster.stats.steps[1].cpu_ops == 0
+        assert small_cluster.stats.steps[1].bytes_sent == 0
+        assert small_cluster.fabric.total_bytes() > 0
+
+    def test_time_includes_barrier(self, small_cluster):
+        small_cluster.end_superstep(active_vertices=0)
+        assert small_cluster.clock.elapsed_s >= (
+            small_cluster.cost_model.barrier_latency_s
+        )

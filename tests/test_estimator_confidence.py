@@ -1,0 +1,55 @@
+"""Tests for the estimator's confidence utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrogWildConfig, PageRankEstimate, run_frogwild
+from repro.errors import ConfigError
+from repro.graph import star_graph
+
+
+class TestStandardErrors:
+    def test_binomial_formula(self):
+        est = PageRankEstimate(np.array([50, 50]), num_frogs=100)
+        se = est.standard_errors()
+        np.testing.assert_allclose(se, np.sqrt(0.25 / 100))
+
+    def test_zero_for_empty_vertices_at_large_n(self):
+        est = PageRankEstimate(np.array([100, 0]), num_frogs=100)
+        se = est.standard_errors()
+        assert se[0] == 0.0  # p = 1 -> no variance
+        assert se[1] == 0.0  # p = 0 -> no variance
+
+    def test_shrinks_with_more_frogs(self):
+        small = PageRankEstimate(np.array([5, 5]), num_frogs=10)
+        large = PageRankEstimate(np.array([500, 500]), num_frogs=1000)
+        assert large.standard_errors()[0] < small.standard_errors()[0]
+
+
+class TestSeparationZ:
+    def test_clear_separation(self):
+        est = PageRankEstimate(np.array([900, 90, 10]), num_frogs=1000)
+        assert est.separation_z(1) > 10
+
+    def test_tied_boundary_is_zero(self):
+        est = PageRankEstimate(np.array([500, 250, 250]), num_frogs=1000)
+        assert est.separation_z(2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_covering_all_is_infinite(self):
+        est = PageRankEstimate(np.array([1, 1]), num_frogs=2)
+        assert est.separation_z(2) == float("inf")
+
+    def test_validation(self):
+        est = PageRankEstimate(np.array([1, 1]), num_frogs=2)
+        with pytest.raises(ConfigError):
+            est.separation_z(0)
+
+    def test_real_run_hub_clearly_separated(self):
+        graph = star_graph(30)
+        result = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=5000, iterations=6, seed=0),
+            num_machines=2,
+        )
+        # The hub holds ~half the mass; rank-1 separation is enormous.
+        assert result.estimate.separation_z(1) > 5

@@ -1,0 +1,104 @@
+"""Unit tests for the exact power-iteration solver (ground truth)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import complete_graph, cycle_graph, from_edges, star_graph
+from repro.pagerank import exact_pagerank, pagerank_operator
+
+
+class TestClosedForms:
+    def test_cycle_uniform(self):
+        pi = exact_pagerank(cycle_graph(10))
+        np.testing.assert_allclose(pi, 0.1, atol=1e-9)
+
+    def test_complete_uniform(self):
+        pi = exact_pagerank(complete_graph(7))
+        np.testing.assert_allclose(pi, 1 / 7, atol=1e-9)
+
+    def test_star_closed_form(self):
+        """Hub of a star: pi_0 = (1+p)/ (3+p) 2/(…) — check via balance.
+
+        For the star, every spoke has pi_s and the hub pi_0 satisfies
+        pi_0 = p/n + (1-p) * (n-1) * pi_s  and
+        pi_s = p/n + (1-p) * pi_0/(n-1).
+        """
+        n, p = 9, 0.15
+        pi = exact_pagerank(star_graph(n), p_teleport=p)
+        hub, spoke = pi[0], pi[1]
+        assert hub == pytest.approx(p / n + (1 - p) * (n - 1) * spoke, abs=1e-9)
+        assert spoke == pytest.approx(p / n + (1 - p) * hub / (n - 1), abs=1e-9)
+        np.testing.assert_allclose(pi[1:], spoke, atol=1e-12)
+
+    def test_sums_to_one(self, small_twitter):
+        pi = exact_pagerank(small_twitter)
+        assert pi.sum() == pytest.approx(1.0, abs=1e-9)
+        assert pi.min() >= 0.15 / small_twitter.num_vertices * 0.999
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx(self, small_twitter):
+        pi = exact_pagerank(small_twitter, p_teleport=0.15, tolerance=1e-12)
+        nxg = nx.DiGraph(list(small_twitter.edges()))
+        nxg.add_nodes_from(range(small_twitter.num_vertices))
+        nx_pi = nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500)
+        expected = np.array(
+            [nx_pi[v] for v in range(small_twitter.num_vertices)]
+        )
+        np.testing.assert_allclose(pi, expected, atol=1e-8)
+
+    def test_matches_networkx_with_dangling(self):
+        graph = from_edges(
+            [(0, 1), (1, 2), (2, 0), (0, 3)], repair_dangling="none"
+        )
+        pi = exact_pagerank(graph, tolerance=1e-12)
+        nxg = nx.DiGraph([(0, 1), (1, 2), (2, 0), (0, 3)])
+        nx_pi = nx.pagerank(nxg, alpha=0.85, tol=1e-12)
+        expected = np.array([nx_pi[v] for v in range(4)])
+        np.testing.assert_allclose(pi, expected, atol=1e-8)
+
+
+class TestOperator:
+    def test_operator_is_column_stochastic_action(self, diamond):
+        op = pagerank_operator(diamond)
+        x = np.full(4, 0.25)
+        y = op @ x
+        assert y.sum() == pytest.approx(1.0)
+
+    def test_operator_matches_dense(self, diamond):
+        op = pagerank_operator(diamond)
+        dense = diamond.transition_matrix()
+        x = np.random.default_rng(0).random(4)
+        np.testing.assert_allclose(op @ x, dense @ x)
+
+
+class TestDiagnostics:
+    def test_return_info(self, small_twitter):
+        result = exact_pagerank(small_twitter, return_info=True)
+        assert result.converged
+        assert result.iterations > 1
+        assert result.residual < 1e-12
+        assert result.vector.sum() == pytest.approx(1.0)
+
+    def test_nonconvergence_raises_without_info(self, small_twitter):
+        with pytest.raises(ConfigError, match="converge"):
+            exact_pagerank(small_twitter, max_iterations=2)
+
+    def test_nonconvergence_reported_with_info(self, small_twitter):
+        result = exact_pagerank(
+            small_twitter, max_iterations=2, return_info=True
+        )
+        assert not result.converged
+        assert result.iterations == 2
+
+
+class TestValidation:
+    def test_bad_teleport(self, diamond):
+        with pytest.raises(ConfigError):
+            exact_pagerank(diamond, p_teleport=0.0)
+
+    def test_bad_tolerance(self, diamond):
+        with pytest.raises(ConfigError):
+            exact_pagerank(diamond, tolerance=0.0)

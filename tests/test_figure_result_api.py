@@ -1,0 +1,51 @@
+"""Coverage for the FigureResult container and figure registry."""
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, FigureResult
+from repro.experiments.harness import ExperimentRow
+
+
+def _row(algorithm: str, time_s: float = 1.0) -> ExperimentRow:
+    return ExperimentRow(
+        workload="w",
+        algorithm=algorithm,
+        num_machines=2,
+        supersteps=1,
+        total_time_s=time_s,
+        time_per_iteration_s=time_s,
+        network_bytes=10,
+        cpu_seconds=0.1,
+        mass_captured={100: 0.9},
+        exact_identification={100: 0.8},
+    )
+
+
+class TestFigureResult:
+    def test_series_prefix_filter(self):
+        result = FigureResult("9", "t")
+        result.rows = [_row("FrogWild ps=1"), _row("GraphLab PR exact")]
+        assert len(result.series("FrogWild")) == 1
+        assert len(result.series("GraphLab")) == 1
+        assert result.series("Sparsified") == []
+
+    def test_to_text_includes_title_and_note(self):
+        result = FigureResult("9", "my title", notes="a note")
+        result.rows = [_row("x")]
+        text = result.to_text()
+        assert "Figure 9: my title" in text
+        assert "note: a note" in text
+
+    def test_to_text_without_note(self):
+        result = FigureResult("9", "t")
+        result.rows = [_row("x")]
+        assert "note:" not in result.to_text()
+
+
+class TestRegistry:
+    def test_all_eight_figures_registered(self):
+        assert sorted(ALL_FIGURES) == ["1", "2", "3", "4", "5", "6", "7", "8"]
+
+    @pytest.mark.parametrize("figure_id", sorted(ALL_FIGURES))
+    def test_registry_entries_callable(self, figure_id):
+        assert callable(ALL_FIGURES[figure_id])

@@ -1,0 +1,211 @@
+"""Integration tests: every paper figure reproduces with the right shape.
+
+These run the real figure functions on miniature workloads so the full
+suite stays fast; the benchmarks run them at the calibrated scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    livejournal_workload,
+    twitter_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def tw():
+    return twitter_workload(n=1500, default_frogs=2000, default_machines=4)
+
+
+@pytest.fixture(scope="module")
+def lj():
+    return livejournal_workload(n=1200, default_frogs=2000, default_machines=4)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self, tw):
+        return figure1(
+            tw, machine_counts=(2, 4), ps_values=(1.0, 0.1), seed=0
+        )
+
+    def test_row_grid(self, result):
+        # Per machine count: exact + 2 fixed GL + 2 FrogWild.
+        assert len(result.rows) == 2 * 5
+
+    def test_frogwild_less_network_than_exact(self, result):
+        for machines in (2, 4):
+            rows = [r for r in result.rows if r.num_machines == machines]
+            exact = next(r for r in rows if r.algorithm == "GraphLab PR exact")
+            for fw in (r for r in rows if r.algorithm.startswith("FrogWild")):
+                assert fw.network_bytes < exact.network_bytes
+
+    def test_frogwild_faster_total_than_exact(self, result):
+        rows = [r for r in result.rows if r.num_machines == 4]
+        exact = next(r for r in rows if r.algorithm == "GraphLab PR exact")
+        for fw in (r for r in rows if r.algorithm.startswith("FrogWild")):
+            assert fw.total_time_s < exact.total_time_s
+
+    def test_lower_ps_less_network(self, result):
+        rows = [r for r in result.rows if r.num_machines == 4]
+        full = next(r for r in rows if r.algorithm == "FrogWild ps=1")
+        tenth = next(r for r in rows if r.algorithm == "FrogWild ps=0.1")
+        assert tenth.network_bytes < full.network_bytes
+
+    def test_to_text_renders(self, result):
+        text = result.to_text()
+        assert "Figure 1" in text
+        assert "GraphLab PR exact" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self, tw):
+        return figure2(
+            tw, ks=(10, 30), ps_values=(1.0, 0.4), num_machines=4, seed=0
+        )
+
+    def test_all_ks_reported(self, result):
+        for row in result.rows:
+            assert set(row.mass_captured) == {10, 30}
+            assert set(row.exact_identification) == {10, 30}
+
+    def test_accuracy_in_range(self, result):
+        for row in result.rows:
+            for value in row.mass_captured.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_frogwild_full_sync_competitive(self, result):
+        """FrogWild ps=1 should at least approach GL PR 1 iter."""
+        gl1 = next(
+            r for r in result.rows if r.algorithm == "GraphLab PR 1 iters"
+        )
+        fw = next(r for r in result.rows if r.algorithm == "FrogWild ps=1")
+        assert fw.mass_captured[30] > gl1.mass_captured[30] - 0.1
+
+
+class TestFigure3And4:
+    @pytest.fixture(scope="class")
+    def result(self, tw):
+        return figure3(
+            tw,
+            num_machines=4,
+            iteration_values=(3, 4),
+            ps_values=(1.0, 0.1),
+            k=30,
+            seed=0,
+        )
+
+    def test_grid_size(self, result):
+        # exact + GL{1,2} + 2 iters x 2 ps.
+        assert len(result.rows) == 3 + 4
+
+    def test_exact_is_most_accurate_and_slowest(self, result):
+        exact = next(r for r in result.rows if "exact" in r.algorithm)
+        assert exact.mass_captured[30] == pytest.approx(1.0, abs=1e-9)
+        assert exact.total_time_s == max(r.total_time_s for r in result.rows)
+
+    def test_figure4_reuses_series(self, tw):
+        fig4 = figure4(tw, num_machines=4, seed=0)
+        assert fig4.figure_id == "4"
+        assert "network_bytes" in fig4.notes
+        assert len(fig4.rows) > 0
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, tw):
+        return figure5(
+            tw,
+            num_machines=4,
+            keep_probabilities=(0.5, 1.0),
+            ps_values=(0.5, 1.0),
+            k=30,
+            seed=0,
+        )
+
+    def test_both_families_present(self, result):
+        sparse = result.series("Sparsified")
+        frog = result.series("FrogWild")
+        assert len(sparse) == 2
+        assert len(frog) == 2
+
+    def test_frogwild_faster_at_comparable_accuracy(self, result):
+        """The paper's claim: FrogWild beats sparsified PR on time."""
+        best_frog = max(result.series("FrogWild"),
+                        key=lambda r: r.mass_captured[30])
+        for row in result.series("Sparsified"):
+            assert best_frog.total_time_s < row.total_time_s * 1.5
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, lj):
+        return figure6(
+            lj,
+            paper_frog_counts=(400_000, 800_000),
+            iteration_values=(2, 4),
+            ps_values=(1.0,),
+            k=30,
+            seed=0,
+        )
+
+    def test_contains_baselines_and_sweeps(self, result):
+        names = [r.algorithm for r in result.rows]
+        assert "GraphLab PR exact" in names
+        frog_rows = result.series("FrogWild")
+        assert len(frog_rows) == 2 + 2  # frog sweep + iteration sweep
+
+    def test_more_frogs_more_network(self, result):
+        frogs = [
+            r
+            for r in result.series("FrogWild")
+            if r.params["iterations"] == 4
+        ]
+        by_frogs = sorted(frogs, key=lambda r: r.params["num_frogs"])
+        assert by_frogs[0].network_bytes < by_frogs[-1].network_bytes
+
+
+class TestFigure7:
+    def test_runs_on_livejournal(self, lj):
+        result = figure7(
+            lj,
+            num_machines=4,
+            iteration_values=(4,),
+            ps_values=(1.0,),
+            k=30,
+            seed=0,
+        )
+        assert result.figure_id == "7"
+        assert any("FrogWild" in r.algorithm for r in result.rows)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self, lj):
+        return figure8(
+            lj, paper_frog_counts=(400_000, 800_000, 1_400_000), seed=0
+        )
+
+    def test_network_monotone_in_frogs(self, result):
+        ordered = sorted(result.rows, key=lambda r: r.params["num_frogs"])
+        nbytes = [r.network_bytes for r in ordered]
+        assert nbytes == sorted(nbytes)
+
+    def test_roughly_linear(self, result):
+        ordered = sorted(result.rows, key=lambda r: r.params["num_frogs"])
+        ratio_frogs = (
+            ordered[-1].params["num_frogs"] / ordered[0].params["num_frogs"]
+        )
+        ratio_bytes = ordered[-1].network_bytes / ordered[0].network_bytes
+        # Linear within a factor-2 band (combining reduces large counts).
+        assert ratio_bytes > ratio_frogs / 2.5
+        assert ratio_bytes < ratio_frogs * 2.5

@@ -1,0 +1,66 @@
+"""Unit tests for FrogWildConfig validation."""
+
+import pytest
+
+from repro.core import FrogWildConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FrogWildConfig()
+        assert config.num_frogs > 0
+        assert config.p_teleport == pytest.approx(0.15)
+        assert config.scatter_mode == "multinomial"
+        assert config.erasure_model == "at-least-one"
+
+    @pytest.mark.parametrize("frogs", [0, -5])
+    def test_rejects_bad_frogs(self, frogs):
+        with pytest.raises(ConfigError, match="num_frogs"):
+            FrogWildConfig(num_frogs=frogs)
+
+    @pytest.mark.parametrize("iters", [0, -1])
+    def test_rejects_bad_iterations(self, iters):
+        with pytest.raises(ConfigError, match="iterations"):
+            FrogWildConfig(iterations=iters)
+
+    @pytest.mark.parametrize("ps", [-0.1, 1.0001])
+    def test_rejects_bad_ps(self, ps):
+        with pytest.raises(ConfigError, match="ps"):
+            FrogWildConfig(ps=ps)
+
+    @pytest.mark.parametrize("pt", [0.0, 1.0, -0.2])
+    def test_rejects_bad_teleport(self, pt):
+        with pytest.raises(ConfigError, match="p_teleport"):
+            FrogWildConfig(p_teleport=pt)
+
+    def test_rejects_unknown_scatter_mode(self):
+        with pytest.raises(ConfigError, match="scatter_mode"):
+            FrogWildConfig(scatter_mode="quantum")
+
+    def test_rejects_unknown_erasure_model(self):
+        with pytest.raises(ConfigError, match="erasure_model"):
+            FrogWildConfig(erasure_model="sometimes")
+
+    def test_boundary_ps_values_allowed(self):
+        assert FrogWildConfig(ps=0.0).ps == 0.0
+        assert FrogWildConfig(ps=1.0).ps == 1.0
+
+
+class TestWithUpdates:
+    def test_returns_modified_copy(self):
+        base = FrogWildConfig(num_frogs=100)
+        updated = base.with_updates(ps=0.5, iterations=7)
+        assert updated.ps == 0.5
+        assert updated.iterations == 7
+        assert updated.num_frogs == 100
+        assert base.ps == 1.0  # original untouched
+
+    def test_updates_are_validated(self):
+        with pytest.raises(ConfigError):
+            FrogWildConfig().with_updates(ps=2.0)
+
+    def test_frozen(self):
+        config = FrogWildConfig()
+        with pytest.raises(Exception):
+            config.ps = 0.5

@@ -1,0 +1,92 @@
+"""Tests for the gossip demonstration of the ps patch's generality."""
+
+import numpy as np
+import pytest
+
+from repro.core.gossip import run_gossip
+from repro.errors import ConfigError
+from repro.graph import complete_graph, cycle_graph, twitter_like
+
+
+class TestSpreading:
+    def test_rumor_covers_connected_graph(self):
+        from repro.graph import largest_scc
+
+        graph = largest_scc(twitter_like(n=800, seed=1))
+        result = run_gossip(
+            graph, source=0, target_fraction=0.9, num_machines=4, seed=0
+        )
+        assert result.informed_fraction >= 0.9
+        assert result.informed[0]
+
+    def test_logarithmic_ish_rounds_on_complete_graph(self):
+        graph = complete_graph(128)
+        result = run_gossip(graph, source=0, num_machines=4, seed=0)
+        # Push gossip informs ~everyone in O(log n) rounds.
+        assert result.rounds < 30
+
+    def test_cycle_spreads_linearly(self):
+        graph = cycle_graph(50)
+        result = run_gossip(
+            graph, source=0, num_machines=2, max_rounds=60, seed=0
+        )
+        # One new vertex per round on a directed cycle.
+        assert result.rounds >= 49
+
+    def test_max_rounds_caps(self):
+        graph = cycle_graph(100)
+        result = run_gossip(graph, source=0, max_rounds=10, num_machines=2)
+        assert result.rounds == 10
+        assert result.informed_fraction < 0.5
+
+
+class TestPsTradeoff:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro.graph import largest_scc
+
+        return largest_scc(twitter_like(n=1000, seed=2))
+
+    def test_lower_ps_less_sync_traffic_per_round(self, graph):
+        full = run_gossip(
+            graph, ps=1.0, target_fraction=0.9, num_machines=4, seed=0
+        )
+        partial = run_gossip(
+            graph, ps=0.2, target_fraction=0.9, num_machines=4, seed=0
+        )
+        per_round_full = full.report.network_bytes / full.rounds
+        per_round_partial = partial.report.network_bytes / partial.rounds
+        assert per_round_partial < per_round_full
+
+    def test_rumor_still_spreads_at_low_ps(self, graph):
+        result = run_gossip(
+            graph,
+            ps=0.1,
+            target_fraction=0.9,
+            max_rounds=400,
+            num_machines=4,
+            seed=0,
+        )
+        assert result.informed_fraction >= 0.9
+
+    def test_report_fields(self, graph):
+        result = run_gossip(graph, ps=0.5, num_machines=4, seed=0)
+        assert result.report.algorithm == "gossip(ps=0.5)"
+        assert result.report.extra["informed_fraction"] == (
+            result.informed_fraction
+        )
+        assert result.report.supersteps == result.rounds
+
+
+class TestValidation:
+    def test_bad_source(self):
+        with pytest.raises(ConfigError):
+            run_gossip(cycle_graph(5), source=99)
+
+    def test_bad_target_fraction(self):
+        with pytest.raises(ConfigError):
+            run_gossip(cycle_graph(5), target_fraction=0.0)
+
+    def test_bad_max_rounds(self):
+        with pytest.raises(ConfigError):
+            run_gossip(cycle_graph(5), max_rounds=0)

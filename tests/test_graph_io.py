@@ -1,0 +1,99 @@
+"""Unit tests for edge-list and NPZ graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def ring(tmp_path):
+    return from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+class TestEdgeList:
+    def test_round_trip(self, ring, tmp_path):
+        path = tmp_path / "ring.txt"
+        write_edge_list(ring, path)
+        loaded = read_edge_list(path)
+        assert loaded == ring
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n0 1\n# another\n1 0\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n\n1 0\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_tabs_and_spaces(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n1  0\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_noncontiguous_ids_compacted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 205\n205 100\n")
+        g, mapping = read_edge_list(path, return_mapping=True)
+        assert g.num_vertices == 2
+        assert list(mapping) == [100, 205]
+        assert g.has_edge(0, 1)
+
+    def test_repair_forwarded(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, repair_dangling="none")
+        assert g.dangling_vertices().size == 1
+
+    def test_header_written(self, ring, tmp_path):
+        path = tmp_path / "ring.txt"
+        write_edge_list(ring, path, header="test graph")
+        text = path.read_text()
+        assert text.startswith("# test graph")
+        assert "# Nodes: 3 Edges: 3" in text
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(path)
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            read_edge_list(path)
+
+
+class TestNpz:
+    def test_round_trip(self, ring, tmp_path):
+        path = tmp_path / "ring.npz"
+        save_npz(ring, path)
+        assert load_npz(path) == ring
+
+    def test_round_trip_larger(self, small_twitter, tmp_path):
+        path = tmp_path / "tw.npz"
+        save_npz(small_twitter, path)
+        assert load_npz(path) == small_twitter
+
+    def test_bad_snapshot_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, wrong=np.arange(3))
+        with pytest.raises(GraphFormatError, match="snapshot"):
+            load_npz(path)

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FrogWildConfig,
+    exact_pagerank,
+    graphlab_pagerank,
+    normalized_mass_captured,
+    run_frogwild,
+    twitter_like,
+)
+from repro.engine import build_cluster
+from repro.metrics import exact_identification
+from repro.pagerank import monte_carlo_pagerank
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return twitter_like(n=4000, seed=17)
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    return exact_pagerank(graph)
+
+
+class TestHeadlineClaims:
+    """The paper's abstract, quantified at simulator scale."""
+
+    def test_frogwild_much_less_network_than_exact(self, graph):
+        exact = graphlab_pagerank(graph, num_machines=8, tolerance=1e-9)
+        frog = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=4000, iterations=4, ps=0.7, seed=0),
+            num_machines=8,
+        )
+        assert frog.report.network_bytes * 10 < exact.report.network_bytes
+
+    def test_frogwild_faster_per_iteration_than_exact(self, graph):
+        exact = graphlab_pagerank(graph, num_machines=8, tolerance=1e-9)
+        frog = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=4000, iterations=4, ps=0.7, seed=0),
+            num_machines=8,
+        )
+        assert (
+            frog.report.time_per_iteration_s
+            < exact.report.time_per_iteration_s
+        )
+
+    def test_accuracy_comparable_to_reduced_iteration_pr(self, graph, truth):
+        one_iter = graphlab_pagerank(graph, num_machines=8, iterations=1)
+        frog = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=8000, iterations=4, ps=1.0, seed=0),
+            num_machines=8,
+        )
+        frog_mass = normalized_mass_captured(
+            frog.estimate.vector(), truth, 50
+        )
+        pr_mass = normalized_mass_captured(one_iter.ranks, truth, 50)
+        assert frog_mass > pr_mass - 0.05
+
+    def test_partial_sync_trades_accuracy_for_traffic(self, graph, truth):
+        """Decreasing ps lowers traffic; accuracy degrades gracefully."""
+        results = {}
+        for ps in (1.0, 0.4, 0.1):
+            res = run_frogwild(
+                graph,
+                FrogWildConfig(num_frogs=8000, iterations=4, ps=ps, seed=0),
+                num_machines=8,
+            )
+            results[ps] = (
+                res.report.network_bytes,
+                normalized_mass_captured(res.estimate.vector(), truth, 50),
+            )
+        assert results[1.0][0] > results[0.4][0] > results[0.1][0]
+        assert results[0.1][1] > 0.8  # still "reasonable" per the paper
+        assert results[1.0][1] >= results[0.1][1] - 0.02
+
+
+class TestConsistencyAcrossComponents:
+    def test_frogwild_agrees_with_montecarlo(self, graph, truth):
+        """Two independent random-walk implementations, one answer."""
+        mc = monte_carlo_pagerank(graph, walkers_per_vertex=5, seed=0)
+        frog = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=20_000, iterations=10, seed=0),
+            num_machines=4,
+        )
+        top_mc = set(np.argsort(-mc)[:30].tolist())
+        top_fw = set(frog.estimate.top_k(30).tolist())
+        assert len(top_mc & top_fw) >= 20
+
+    def test_partitioning_does_not_change_estimates_much(self, graph, truth):
+        """ps=1 estimates are unbiased regardless of the vertex-cut."""
+        masses = []
+        for machines in (2, 16):
+            res = run_frogwild(
+                graph,
+                FrogWildConfig(num_frogs=8000, iterations=4, seed=0),
+                num_machines=machines,
+            )
+            masses.append(
+                normalized_mass_captured(res.estimate.vector(), truth, 50)
+            )
+        assert abs(masses[0] - masses[1]) < 0.05
+
+    def test_full_pipeline_reproducible(self, graph):
+        def run_once():
+            state = build_cluster(graph, num_machines=6, seed=3)
+            res = run_frogwild(
+                graph,
+                FrogWildConfig(num_frogs=3000, iterations=3, ps=0.5, seed=3),
+                state=state,
+            )
+            return (
+                res.estimate.counts.tobytes(),
+                res.report.network_bytes,
+                res.report.total_time_s,
+            )
+
+        assert run_once() == run_once()
+
+    def test_exact_id_and_mass_move_together(self, graph, truth):
+        res = run_frogwild(
+            graph,
+            FrogWildConfig(num_frogs=12_000, iterations=5, seed=1),
+            num_machines=8,
+        )
+        vec = res.estimate.vector()
+        assert normalized_mass_captured(vec, truth, 50) > 0.9
+        assert exact_identification(vec, truth, 50) > 0.6

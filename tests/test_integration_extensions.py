@@ -1,0 +1,203 @@
+"""Integration tests across the extension subsystems.
+
+Each test wires several of the newer packages together the way a
+downstream user would: generators feeding the adaptive runner, fault
+injection inside a dynamic tracker's refresh loop, persistence round
+trips through the chart adapters, and the full interaction-stream
+pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveConfig,
+    FrogWildConfig,
+    run_adaptive_frogwild,
+    run_frogwild,
+)
+from repro.dynamic import (
+    ActivityWindow,
+    ChurnGenerator,
+    DynamicDiGraph,
+    PageRankTracker,
+    stable_hash_partition,
+)
+from repro.engine import build_cluster, traffic_breakdown
+from repro.experiments import (
+    FigureResult,
+    load_figure_json,
+    save_figure_json,
+)
+from repro.experiments.harness import ExperimentHarness
+from repro.experiments.workloads import Workload
+from repro.faults import (
+    FaultSchedule,
+    MachineCrash,
+    MessageDrop,
+    StragglerCostModel,
+    run_frogwild_with_faults,
+)
+from repro.graph import rmat, twitter_like
+from repro.metrics import ndcg_at_k, normalized_mass_captured
+from repro.pagerank import (
+    async_pagerank,
+    exact_pagerank,
+    forward_push_pagerank,
+)
+from repro.viz import figure_chart
+
+
+class TestAdaptiveOnRmat:
+    def test_adaptive_runs_on_rmat_graph(self):
+        """The Graph500 generator feeds the Remark 6 runner end to end."""
+        graph = rmat(scale=10, edge_factor=8, seed=3)
+        outcome = run_adaptive_frogwild(
+            graph,
+            AdaptiveConfig(k=10, pilot_frogs=1_000, max_frogs=32_000),
+            num_machines=4,
+            partitioner="hdrf",
+            seed=0,
+        )
+        truth = exact_pagerank(graph)
+        mass = normalized_mass_captured(outcome.estimate.vector(), truth, 10)
+        assert mass > 0.8
+
+
+class TestFaultsInsideTracking:
+    def test_crashy_refreshes_keep_tracking(self):
+        """A tracker whose every refresh suffers a crash still follows
+        the graph (the faults module composing with dynamic state)."""
+        base = twitter_like(n=800, seed=11)
+        dynamic = DynamicDiGraph.from_digraph(base)
+        churn = ChurnGenerator(add_rate=0.01, remove_rate=0.01, seed=0)
+        config = FrogWildConfig(num_frogs=6_000, iterations=4, seed=0)
+        schedule = FaultSchedule(
+            crashes=(MachineCrash(step=1, machine=0, rebirth=True),),
+            message_drop=MessageDrop(0.05),
+        )
+        masses = []
+        for tick in range(3):
+            dynamic.apply(churn.step(dynamic))
+            snapshot = dynamic.snapshot()
+            state = build_cluster(
+                snapshot, 4, seed=0,
+                partition=stable_hash_partition(snapshot, 4),
+            )
+            result, log = run_frogwild_with_faults(
+                snapshot, schedule, config, state=state
+            )
+            assert log.frogs_lost_to_crashes > 0
+            truth = exact_pagerank(snapshot)
+            masses.append(
+                normalized_mass_captured(result.estimate.vector(), truth, 10)
+            )
+        assert all(m > 0.75 for m in masses)
+
+
+class TestStragglerWithPartialSyncTracking:
+    def test_tracker_under_straggler_cost_model(self):
+        base = twitter_like(n=600, seed=4)
+        tracker = PageRankTracker(
+            DynamicDiGraph.from_digraph(base),
+            k=10,
+            config=FrogWildConfig(
+                num_frogs=5_000, iterations=4, ps=0.4, seed=0
+            ),
+            num_machines=4,
+            cost_model=StragglerCostModel(slowdowns=(4.0, 1.0, 1.0, 1.0)),
+        )
+        assert tracker.history[0].total_time_s > 0
+
+
+class TestHarnessPersistenceViz:
+    def test_harness_rows_chart_and_roundtrip(self, tmp_path, small_twitter):
+        """Harness rows -> figure -> JSON -> chart, the full report
+        pipeline."""
+        workload = Workload(
+            name="tiny",
+            graph=small_twitter,
+            default_frogs=2_000,
+            default_iterations=3,
+            default_machines=4,
+            paper_vertices=small_twitter.num_vertices,
+        )
+        harness = ExperimentHarness(workload, seed=0)
+        figure = FigureResult("X", "integration smoke")
+        figure.rows.append(harness.run_frogwild(ks=(10,)))
+        figure.rows.append(harness.run_graphlab(iterations=1, ks=(10,)))
+
+        path = save_figure_json(figure, tmp_path / "fig.json")
+        restored = load_figure_json(path)
+        chart = figure_chart(restored, x="total_time_s", y="mass@10")
+        assert "integration smoke" in chart
+        assert "FrogWild" in chart
+
+    def test_breakdown_of_harness_state(self, small_twitter):
+        """traffic_breakdown applies to any engine run's state."""
+        result = run_frogwild(
+            small_twitter,
+            FrogWildConfig(num_frogs=4_000, iterations=3, seed=0),
+            num_machines=4,
+            partitioner="grid",
+        )
+        breakdown = traffic_breakdown(result.state)
+        assert breakdown.total_bytes == result.report.network_bytes
+
+
+class TestBaselineAgreement:
+    def test_all_solvers_agree_on_the_head(self, small_twitter):
+        """Exact, push, async and FrogWild name (almost) the same top-10
+        — four independent code paths cross-validating each other."""
+        truth = exact_pagerank(small_twitter)
+        push = forward_push_pagerank(small_twitter, eps=1e-7)
+        asynchronous = async_pagerank(
+            small_twitter, num_machines=4, tolerance=1e-6
+        )
+        frog = run_frogwild(
+            small_twitter,
+            FrogWildConfig(num_frogs=30_000, iterations=5, seed=0),
+            num_machines=4,
+        )
+        for estimate in (
+            push.estimate,
+            asynchronous.distribution(),
+            frog.estimate.vector(),
+        ):
+            assert normalized_mass_captured(estimate, truth, 10) > 0.9
+        # NDCG agreement on the head for the deterministic solvers.
+        assert ndcg_at_k(push.estimate, truth, 10) > 0.99
+        assert ndcg_at_k(asynchronous.distribution(), truth, 10) > 0.99
+
+
+class TestWindowToTrackerPipeline:
+    def test_expired_hub_leaves_the_ranking(self):
+        """An interaction burst makes a hub; after the window slides
+        past it, the hub leaves the top-k."""
+        n = 400
+        rng = np.random.default_rng(7)
+        window = ActivityWindow(n, horizon=2.0)
+        live = DynamicDiGraph(n)
+
+        def background(t):
+            batch = rng.integers(0, n, size=(1_500, 2))
+            return batch[batch[:, 0] != batch[:, 1]]
+
+        hub = n - 1
+        burst = np.column_stack(
+            [np.arange(200), np.full(200, hub)]
+        )
+        first = np.concatenate([background(0), burst])
+        live.apply(window.observe(first, timestamp=0.0))
+        tracker = PageRankTracker(
+            live,
+            k=5,
+            config=FrogWildConfig(num_frogs=6_000, iterations=4, seed=0),
+            num_machines=4,
+        )
+        assert hub in set(tracker.current_top_k.tolist())
+
+        # Slide the window past the burst with fresh background noise.
+        for t in (1.0, 2.5, 4.0):
+            update = tracker.update(window.observe(background(t), t))
+        assert hub not in set(update.top_k.tolist())

@@ -1,0 +1,143 @@
+"""Unit tests for Machine, MachineGroup and NetworkFabric."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Machine,
+    MachineGroup,
+    MessageSizeModel,
+    NetworkFabric,
+)
+
+
+class TestMachine:
+    def test_charge_accumulates(self):
+        m = Machine(0)
+        m.charge(10)
+        m.charge(5, phase="scatter")
+        assert m.cpu_ops == 15
+        assert m.ops_by_phase["compute"] == 10
+        assert m.ops_by_phase["scatter"] == 5
+
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Machine(0).charge(-1)
+
+    def test_reset(self):
+        m = Machine(0)
+        m.charge(10)
+        m.reset()
+        assert m.cpu_ops == 0
+        assert not m.ops_by_phase
+
+
+class TestMachineGroup:
+    def test_len_and_indexing(self):
+        group = MachineGroup(4)
+        assert len(group) == 4
+        assert group[2].machine_id == 2
+
+    def test_totals(self):
+        group = MachineGroup(3)
+        group[0].charge(5)
+        group[2].charge(11)
+        assert group.total_cpu_ops() == 16
+        assert group.max_cpu_ops() == 11
+
+    def test_reset(self):
+        group = MachineGroup(2)
+        group[0].charge(1)
+        group.reset()
+        assert group.total_cpu_ops() == 0
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            MachineGroup(0)
+
+
+class TestMessageSizeModel:
+    def test_record_bytes(self):
+        model = MessageSizeModel(
+            vertex_id_bytes=8, payload_bytes=8, record_overhead_bytes=4
+        )
+        assert model.record_bytes() == 20
+
+    def test_batch_includes_header(self):
+        model = MessageSizeModel(message_header_bytes=32)
+        assert model.batch_bytes(3) == 32 + 3 * model.record_bytes()
+
+    def test_empty_batch_free(self):
+        assert MessageSizeModel().batch_bytes(0) == 0
+
+
+class TestNetworkFabric:
+    def test_remote_send_counted(self):
+        fabric = NetworkFabric(3)
+        nbytes = fabric.send(0, 1, 5, kind="sync")
+        assert nbytes == fabric.size_model.batch_bytes(5)
+        assert fabric.total_bytes() == nbytes
+        assert fabric.bytes_between(0, 1) == nbytes
+
+    def test_local_send_free(self):
+        fabric = NetworkFabric(3)
+        assert fabric.send(1, 1, 100, kind="sync") == 0
+        assert fabric.total_bytes() == 0
+
+    def test_empty_send_free(self):
+        fabric = NetworkFabric(3)
+        assert fabric.send(0, 1, 0, kind="sync") == 0
+
+    def test_kind_breakdown(self):
+        fabric = NetworkFabric(2)
+        fabric.send(0, 1, 1, kind="sync")
+        fabric.send(0, 1, 2, kind="scatter")
+        fabric.send(1, 0, 3, kind="sync")
+        snap = fabric.snapshot()
+        assert snap.messages_by_kind == {"sync": 2, "scatter": 1}
+        assert snap.bytes_for("sync") == (
+            fabric.size_model.batch_bytes(1) + fabric.size_model.batch_bytes(3)
+        )
+        assert snap.total_messages == 3
+
+    def test_per_machine_totals(self):
+        fabric = NetworkFabric(3)
+        fabric.send(0, 1, 1, kind="x")
+        fabric.send(0, 2, 1, kind="x")
+        fabric.send(2, 0, 1, kind="x")
+        one = fabric.size_model.batch_bytes(1)
+        assert list(fabric.bytes_sent_per_machine()) == [2 * one, 0, one]
+        assert list(fabric.bytes_received_per_machine()) == [one, one, one]
+
+    def test_step_traffic_and_barrier_reset(self):
+        fabric = NetworkFabric(2)
+        fabric.send(0, 1, 4, kind="x")
+        sent, received = fabric.step_traffic()
+        assert sent[0] > 0 and received[1] > 0
+        fabric.end_superstep()
+        sent, received = fabric.step_traffic()
+        assert sent.sum() == 0 and received.sum() == 0
+        # Cumulative totals survive the barrier.
+        assert fabric.total_bytes() > 0
+
+    def test_broadcast(self):
+        fabric = NetworkFabric(4)
+        total = fabric.broadcast(0, np.array([1, 2, 3]), 2, kind="sync")
+        assert total == 3 * fabric.size_model.batch_bytes(2)
+
+    def test_reset(self):
+        fabric = NetworkFabric(2)
+        fabric.send(0, 1, 1, kind="x")
+        fabric.reset()
+        assert fabric.total_bytes() == 0
+        assert fabric.snapshot().total_messages == 0
+
+    def test_rejects_bad_machine(self):
+        fabric = NetworkFabric(2)
+        with pytest.raises(ValueError):
+            fabric.send(0, 5, 1, kind="x")
+
+    def test_rejects_negative_records(self):
+        fabric = NetworkFabric(2)
+        with pytest.raises(ValueError):
+            fabric.send(0, 1, -1, kind="x")

@@ -1,0 +1,133 @@
+"""Unit tests for the accuracy metrics (Definition 2 and companions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    exact_identification,
+    l1_error,
+    linf_error,
+    mass_captured,
+    mean_true_rank,
+    normalized_mass_captured,
+    optimal_mass,
+    topk_jaccard,
+    topk_kendall_tau,
+)
+
+
+@pytest.fixture
+def truth():
+    return np.array([0.4, 0.3, 0.15, 0.1, 0.05])
+
+
+class TestMassCaptured:
+    def test_perfect_estimate(self, truth):
+        assert mass_captured(truth, truth, 2) == pytest.approx(0.7)
+
+    def test_wrong_order_partial_credit(self, truth):
+        estimate = np.array([0.0, 0.1, 0.5, 0.4, 0.0])  # picks {2, 3}
+        assert mass_captured(estimate, truth, 2) == pytest.approx(0.25)
+
+    def test_optimal_mass(self, truth):
+        assert optimal_mass(truth, 3) == pytest.approx(0.85)
+
+    def test_normalized_bounds(self, truth, rng):
+        for _ in range(10):
+            estimate = rng.random(5)
+            value = normalized_mass_captured(estimate, truth, 2)
+            assert 0.0 < value <= 1.0
+
+    def test_normalized_perfect_is_one(self, truth):
+        assert normalized_mass_captured(truth, truth, 4) == pytest.approx(1.0)
+
+    def test_maximized_by_truth(self, truth, rng):
+        best = mass_captured(truth, truth, 2)
+        for _ in range(20):
+            assert mass_captured(rng.random(5), truth, 2) <= best + 1e-12
+
+    def test_shape_mismatch(self, truth):
+        with pytest.raises(ConfigError):
+            mass_captured(np.ones(3), truth, 2)
+
+    def test_bad_k(self, truth):
+        with pytest.raises(ConfigError):
+            mass_captured(truth, truth, 0)
+
+
+class TestExactIdentification:
+    def test_perfect(self, truth):
+        assert exact_identification(truth, truth, 3) == pytest.approx(1.0)
+
+    def test_half_overlap(self, truth):
+        estimate = np.array([0.5, 0.0, 0.4, 0.0, 0.0])  # top-2 {0, 2}
+        assert exact_identification(estimate, truth, 2) == pytest.approx(0.5)
+
+    def test_zero_overlap(self, truth):
+        estimate = np.array([0.0, 0.0, 0.0, 0.5, 0.5])
+        assert exact_identification(estimate, truth, 2) == pytest.approx(0.0)
+
+    def test_k_above_n(self, truth):
+        assert exact_identification(truth, truth, 10) == pytest.approx(1.0)
+
+
+class TestDistances:
+    def test_l1(self):
+        a = np.array([0.5, 0.5])
+        b = np.array([1.0, 0.0])
+        assert l1_error(a, b) == pytest.approx(1.0)
+
+    def test_linf(self):
+        a = np.array([0.5, 0.5, 0.0])
+        b = np.array([0.2, 0.5, 0.3])
+        assert linf_error(a, b) == pytest.approx(0.3)
+
+    def test_zero_distance(self, truth):
+        assert l1_error(truth, truth) == 0.0
+        assert linf_error(truth, truth) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            l1_error(np.ones(2), np.ones(3))
+        with pytest.raises(ConfigError):
+            linf_error(np.ones(2), np.ones(3))
+
+
+class TestComparison:
+    def test_jaccard_perfect(self, truth):
+        assert topk_jaccard(truth, truth, 3) == pytest.approx(1.0)
+
+    def test_jaccard_disjoint(self):
+        a = np.array([1.0, 0.9, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 1.0, 0.9])
+        assert topk_jaccard(a, b, 2) == pytest.approx(0.0)
+
+    def test_kendall_perfect(self, truth):
+        assert topk_kendall_tau(truth, truth, 4) == pytest.approx(1.0)
+
+    def test_kendall_reversed(self, truth):
+        estimate = truth[::-1].copy()
+        estimate = np.array([0.05, 0.1, 0.15, 0.3, 0.4])
+        # Same top-4 set in reversed order: tau = -1.
+        assert topk_kendall_tau(estimate, truth, 4) == pytest.approx(-1.0)
+
+    def test_kendall_single_common(self):
+        a = np.array([1.0, 0.0, 0.0, 0.9])
+        b = np.array([1.0, 0.9, 0.0, 0.0])
+        assert topk_kendall_tau(a, b, 2) == pytest.approx(1.0)
+
+    def test_mean_true_rank_perfect(self, truth):
+        assert mean_true_rank(truth, truth, 3) == pytest.approx(2.0)
+
+    def test_mean_true_rank_worst(self, truth):
+        estimate = np.array([0.0, 0.0, 0.0, 0.5, 0.6])
+        assert mean_true_rank(estimate, truth, 2) == pytest.approx(4.5)
+
+    def test_bad_k(self, truth):
+        with pytest.raises(ConfigError):
+            topk_jaccard(truth, truth, 0)
+        with pytest.raises(ConfigError):
+            topk_kendall_tau(truth, truth, 0)
+        with pytest.raises(ConfigError):
+            mean_true_rank(truth, truth, 0)

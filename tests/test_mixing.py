@@ -1,0 +1,150 @@
+"""Tests for the mixing-analysis module (theory behind Lemma 14)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.graph import GraphBuilder, complete_graph, cycle_graph, twitter_like
+from repro.pagerank import exact_pagerank
+from repro.theory import (
+    chi2_mixing_bound,
+    chi2_mixing_curve,
+    empirical_mixing_time,
+    google_matrix,
+    second_eigenvalue,
+    total_variation,
+    tv_mixing_curve,
+    walk_distribution,
+)
+
+
+class TestGoogleMatrix:
+    def test_columns_stochastic(self, small_twitter):
+        graph = twitter_like(n=200, seed=1)
+        q = google_matrix(graph)
+        assert np.allclose(q.sum(axis=0), 1.0)
+
+    def test_uniform_floor(self):
+        q = google_matrix(cycle_graph(8), p_teleport=0.15)
+        assert q.min() >= 0.15 / 8 - 1e-12
+
+    def test_pagerank_is_fixed_point(self):
+        graph = twitter_like(n=150, seed=2)
+        q = google_matrix(graph)
+        pi = exact_pagerank(graph)
+        assert np.allclose(q @ pi, pi, atol=1e-9)
+
+    def test_dangling_columns_repaired(self):
+        graph = GraphBuilder(
+            num_vertices=3, repair_dangling="none"
+        ).add_edges([(0, 1), (1, 2)]).build()
+        q = google_matrix(graph)
+        assert np.allclose(q[:, 2], 1.0 / 3)
+
+    def test_size_guard(self):
+        with pytest.raises(GraphError):
+            google_matrix(twitter_like(n=3000, seed=0))
+
+    def test_rejects_bad_teleport(self):
+        with pytest.raises(ConfigError):
+            google_matrix(cycle_graph(4), p_teleport=0.0)
+
+
+class TestSecondEigenvalue:
+    def test_haveliwala_kamvar_bound(self):
+        """|lambda_2(Q)| <= 1 - p_T, the fact Lemma 14 rests on."""
+        for seed in (0, 1):
+            graph = twitter_like(n=150, seed=seed)
+            assert second_eigenvalue(graph, 0.15) <= 0.85 + 1e-9
+
+    def test_complete_graph_gap(self):
+        """K_n (no self-loops): P = (J - I)/(n-1) has lambda_2 = -1/(n-1),
+        so lambda_2(Q) = (1 - p_T)/(n - 1) — a huge spectral gap."""
+        value = second_eigenvalue(complete_graph(6), p_teleport=0.15)
+        assert value == pytest.approx(0.85 / 5, abs=1e-9)
+
+    def test_cycle_saturates_bound(self):
+        """A directed cycle's P has eigenvalues on the unit circle, so
+        lambda_2(Q) hits (1 - p_T) exactly."""
+        value = second_eigenvalue(cycle_graph(10), p_teleport=0.15)
+        assert value == pytest.approx(0.85, abs=1e-9)
+
+
+class TestWalkDistribution:
+    def test_zero_steps_is_start(self):
+        graph = cycle_graph(6)
+        assert np.allclose(walk_distribution(graph, 0), 1.0 / 6)
+
+    def test_stays_on_simplex(self, small_twitter):
+        pi_t = walk_distribution(small_twitter, 5)
+        assert pi_t.min() >= 0
+        assert pi_t.sum() == pytest.approx(1.0)
+
+    def test_converges_to_pagerank(self):
+        graph = twitter_like(n=300, seed=3)
+        pi = exact_pagerank(graph)
+        pi_t = walk_distribution(graph, 100)
+        assert total_variation(pi_t, pi) < 1e-6
+
+    def test_custom_start(self):
+        graph = cycle_graph(5)
+        start = np.zeros(5)
+        start[2] = 1.0
+        one_step = walk_distribution(graph, 1, start=start)
+        # With p_T = 0.15: mass 0.85 moves to vertex 3, 0.15 spreads.
+        assert one_step[3] == pytest.approx(0.85 + 0.15 / 5)
+
+    def test_validation(self):
+        graph = cycle_graph(5)
+        with pytest.raises(ConfigError):
+            walk_distribution(graph, -1)
+        with pytest.raises(ConfigError):
+            walk_distribution(graph, 1, start=np.ones(5))
+
+
+class TestMixingCurves:
+    def test_tv_curve_monotone_nonincreasing(self):
+        graph = twitter_like(n=300, seed=4)
+        curve = tv_mixing_curve(graph, 10)
+        assert len(curve) == 11
+        assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_chi2_curve_below_lemma14_bound(self):
+        """The empirical chi2 distance respects Lemma 14 at every t."""
+        graph = twitter_like(n=300, seed=5)
+        curve = chi2_mixing_curve(graph, 8)
+        for t, value in enumerate(curve):
+            assert value <= chi2_mixing_bound(0.15, t) + 1e-9
+
+    def test_geometric_decay_rate(self):
+        """chi2 contraction is at least (1 - p_T)^2 per step on average."""
+        graph = twitter_like(n=300, seed=6)
+        curve = chi2_mixing_curve(graph, 6)
+        assert curve[6] <= curve[0] * (0.85**2) ** 6 + 1e-12
+
+    def test_rejects_negative_horizon(self):
+        with pytest.raises(ConfigError):
+            tv_mixing_curve(cycle_graph(4), -1)
+
+
+class TestEmpiricalMixingTime:
+    def test_complete_graph_mixes_instantly(self):
+        assert empirical_mixing_time(complete_graph(8), epsilon=0.01) <= 1
+
+    def test_consistent_with_curve(self):
+        graph = twitter_like(n=300, seed=7)
+        t_mix = empirical_mixing_time(graph, epsilon=0.01)
+        curve = tv_mixing_curve(graph, t_mix)
+        assert curve[t_mix] <= 0.01
+        if t_mix > 0:
+            assert curve[t_mix - 1] > 0.01
+
+    def test_paper_regime_few_iterations(self):
+        """The paper stops at 3-5 supersteps; on power-law stand-ins the
+        chain is within a few percent TV by then."""
+        graph = twitter_like(n=500, seed=8)
+        assert empirical_mixing_time(graph, epsilon=0.05) <= 6
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigError):
+            empirical_mixing_time(cycle_graph(4), epsilon=0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the Monte-Carlo PageRank baseline and walk simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import cycle_graph, star_graph
+from repro.pagerank import (
+    exact_pagerank,
+    monte_carlo_pagerank,
+    simulate_walkers,
+)
+
+
+class TestSimulateWalkers:
+    def test_geometric_death_positions(self, small_twitter, rng):
+        start = rng.integers(0, small_twitter.num_vertices, size=500)
+        finals = simulate_walkers(small_twitter, start, rng=rng)
+        assert finals.shape == start.shape
+        assert finals.min() >= 0
+        assert finals.max() < small_twitter.num_vertices
+
+    def test_max_steps_zero_keeps_start(self, small_twitter, rng):
+        start = np.arange(10, dtype=np.int64)
+        finals = simulate_walkers(small_twitter, start, max_steps=0, rng=rng)
+        np.testing.assert_array_equal(finals, start)
+
+    def test_teleport_restarts_need_max_steps(self, small_twitter, rng):
+        with pytest.raises(ConfigError, match="max_steps"):
+            simulate_walkers(
+                small_twitter, np.array([0]), teleport_restarts=True, rng=rng
+            )
+
+    def test_teleport_restart_chain_matches_pi(self, rng):
+        """Walking Q for many steps samples from pi (Definition 1)."""
+        graph = star_graph(10)
+        pi = exact_pagerank(graph)
+        start = rng.integers(0, 10, size=20_000)
+        finals = simulate_walkers(
+            graph, start, max_steps=30, rng=rng, teleport_restarts=True
+        )
+        freq = np.bincount(finals, minlength=10) / finals.size
+        np.testing.assert_allclose(freq, pi, atol=0.02)
+
+    def test_bad_teleport_probability(self, small_twitter):
+        with pytest.raises(ConfigError):
+            simulate_walkers(small_twitter, np.array([0]), p_teleport=0.0)
+
+
+class TestMonteCarloPageRank:
+    def test_close_to_exact_on_star(self):
+        graph = star_graph(12)
+        pi = exact_pagerank(graph)
+        estimate = monte_carlo_pagerank(graph, walkers_per_vertex=50, seed=0)
+        np.testing.assert_allclose(estimate, pi, atol=0.02)
+
+    def test_close_to_exact_on_cycle(self):
+        graph = cycle_graph(20)
+        estimate = monte_carlo_pagerank(graph, walkers_per_vertex=50, seed=0)
+        np.testing.assert_allclose(estimate, 1 / 20, atol=0.02)
+
+    def test_normalized(self, small_twitter):
+        estimate = monte_carlo_pagerank(small_twitter, seed=0)
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_more_walkers_lower_error(self, small_twitter):
+        pi = exact_pagerank(small_twitter)
+        rough = monte_carlo_pagerank(small_twitter, walkers_per_vertex=1, seed=0)
+        fine = monte_carlo_pagerank(small_twitter, walkers_per_vertex=20, seed=0)
+        assert np.abs(fine - pi).sum() < np.abs(rough - pi).sum()
+
+    def test_rejects_bad_walker_count(self, small_twitter):
+        with pytest.raises(ConfigError):
+            monte_carlo_pagerank(small_twitter, walkers_per_vertex=0)

@@ -1,0 +1,204 @@
+"""Unit tests for vertex-cut partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EdgePartition,
+    GridVertexCut,
+    HdrfVertexCut,
+    ObliviousVertexCut,
+    RandomVertexCut,
+    ReplicationTable,
+    grid_shape,
+    make_partitioner,
+)
+from repro.errors import PartitionError
+from repro.graph import cycle_graph
+
+
+class TestEdgePartition:
+    def test_load_vector(self):
+        part = EdgePartition(np.array([0, 0, 1, 2]), num_machines=3)
+        assert list(part.edges_per_machine()) == [2, 1, 1]
+
+    def test_imbalance(self):
+        part = EdgePartition(np.array([0, 0, 0, 1]), num_machines=2)
+        assert part.load_imbalance() == pytest.approx(1.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PartitionError):
+            EdgePartition(np.array([0, 5]), num_machines=2)
+
+
+class TestRandomVertexCut:
+    def test_covers_all_edges(self, small_twitter):
+        part = RandomVertexCut(seed=0).partition(small_twitter, 4)
+        assert part.edge_machine.shape == (small_twitter.num_edges,)
+        assert set(np.unique(part.edge_machine)) <= set(range(4))
+
+    def test_roughly_balanced(self, small_twitter):
+        part = RandomVertexCut(seed=0).partition(small_twitter, 4)
+        assert part.load_imbalance() < 1.15
+
+    def test_deterministic(self, small_twitter):
+        a = RandomVertexCut(seed=5).partition(small_twitter, 4)
+        b = RandomVertexCut(seed=5).partition(small_twitter, 4)
+        assert np.array_equal(a.edge_machine, b.edge_machine)
+
+    def test_single_machine(self, small_twitter):
+        part = RandomVertexCut().partition(small_twitter, 1)
+        assert np.all(part.edge_machine == 0)
+
+
+class TestObliviousVertexCut:
+    def test_covers_all_edges(self, small_twitter):
+        part = ObliviousVertexCut(seed=0).partition(small_twitter, 4)
+        assert part.edge_machine.shape == (small_twitter.num_edges,)
+
+    def test_lower_replication_than_random(self, small_twitter):
+        random_part = RandomVertexCut(seed=0).partition(small_twitter, 8)
+        greedy_part = ObliviousVertexCut(seed=0).partition(small_twitter, 8)
+        rf_random = ReplicationTable(small_twitter, random_part).replication_factor()
+        rf_greedy = ReplicationTable(small_twitter, greedy_part).replication_factor()
+        assert rf_greedy < rf_random
+
+    def test_reasonable_balance(self, small_twitter):
+        part = ObliviousVertexCut(seed=0).partition(small_twitter, 4)
+        assert part.load_imbalance() < 1.6
+
+
+class TestGridShape:
+    def test_perfect_square(self):
+        assert grid_shape(16) == (4, 4)
+
+    def test_rectangle(self):
+        assert grid_shape(12) == (3, 4)
+        assert grid_shape(24) == (4, 6)
+
+    def test_prime_degenerates(self):
+        assert grid_shape(7) == (1, 7)
+
+    def test_one_machine(self):
+        assert grid_shape(1) == (1, 1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(PartitionError):
+            grid_shape(0)
+
+
+class TestGridVertexCut:
+    def test_covers_all_edges(self, small_twitter):
+        part = GridVertexCut(seed=0).partition(small_twitter, 4)
+        assert part.edge_machine.shape == (small_twitter.num_edges,)
+
+    def test_replication_cap_holds(self, small_twitter):
+        """No vertex may exceed rows + cols - 1 replicas on a grid cut."""
+        part = GridVertexCut(seed=0).partition(small_twitter, 16)
+        repl = ReplicationTable(small_twitter, part)
+        rows, cols = grid_shape(16)
+        assert repl.replica_counts.max() <= rows + cols - 1
+
+    def test_placement_respects_constraint_sets(self):
+        """Every edge lands in the intersection of both endpoint sets."""
+        graph = cycle_graph(50)
+        num_machines = 9
+        seed = 3
+        part = GridVertexCut(seed=seed).partition(graph, num_machines)
+        rows, cols = grid_shape(num_machines)
+        rng = np.random.default_rng([105, seed])
+        home = rng.integers(0, num_machines, size=graph.num_vertices)
+        machine_row = np.arange(num_machines) // cols
+        machine_col = np.arange(num_machines) % cols
+        src = graph.edge_sources()
+        dst = graph.indices
+        for edge in range(graph.num_edges):
+            u, v = int(src[edge]), int(dst[edge])
+            p = int(part.edge_machine[edge])
+            in_su = (machine_row[p] == home[u] // cols) or (
+                machine_col[p] == home[u] % cols
+            )
+            in_sv = (machine_row[p] == home[v] // cols) or (
+                machine_col[p] == home[v] % cols
+            )
+            assert in_su and in_sv
+
+    def test_lower_replication_than_random(self, small_twitter):
+        random_part = RandomVertexCut(seed=0).partition(small_twitter, 16)
+        grid_part = GridVertexCut(seed=0).partition(small_twitter, 16)
+        rf_random = ReplicationTable(small_twitter, random_part).replication_factor()
+        rf_grid = ReplicationTable(small_twitter, grid_part).replication_factor()
+        assert rf_grid < rf_random
+
+    def test_deterministic(self, small_twitter):
+        a = GridVertexCut(seed=9).partition(small_twitter, 6)
+        b = GridVertexCut(seed=9).partition(small_twitter, 6)
+        assert np.array_equal(a.edge_machine, b.edge_machine)
+
+    def test_single_machine(self, small_twitter):
+        part = GridVertexCut(seed=0).partition(small_twitter, 1)
+        assert np.all(part.edge_machine == 0)
+
+
+class TestHdrfVertexCut:
+    def test_covers_all_edges(self, small_twitter):
+        part = HdrfVertexCut(seed=0).partition(small_twitter, 4)
+        assert part.edge_machine.shape == (small_twitter.num_edges,)
+
+    def test_lower_replication_than_random(self, small_twitter):
+        random_part = RandomVertexCut(seed=0).partition(small_twitter, 8)
+        hdrf_part = HdrfVertexCut(seed=0).partition(small_twitter, 8)
+        rf_random = ReplicationTable(small_twitter, random_part).replication_factor()
+        rf_hdrf = ReplicationTable(small_twitter, hdrf_part).replication_factor()
+        assert rf_hdrf < rf_random
+
+    def test_hubs_replicate_more_than_tail(self, small_twitter):
+        """The defining HDRF property: replication concentrates on hubs."""
+        part = HdrfVertexCut(seed=0).partition(small_twitter, 8)
+        repl = ReplicationTable(small_twitter, part)
+        degree = np.asarray(small_twitter.out_degree()) + np.asarray(
+            small_twitter.in_degree()
+        )
+        hubs = np.argsort(degree)[-50:]
+        tail = np.argsort(degree)[: small_twitter.num_vertices // 2]
+        assert (
+            repl.replica_counts[hubs].mean()
+            > repl.replica_counts[tail].mean() + 0.5
+        )
+
+    def test_balance_increases_with_lambda(self, small_twitter):
+        loose = HdrfVertexCut(seed=0, lam=0.1).partition(small_twitter, 8)
+        tight = HdrfVertexCut(seed=0, lam=4.0).partition(small_twitter, 8)
+        assert tight.load_imbalance() <= loose.load_imbalance() + 1e-9
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(PartitionError):
+            HdrfVertexCut(lam=-1.0)
+
+    def test_deterministic(self, small_twitter):
+        a = HdrfVertexCut(seed=2).partition(small_twitter, 4)
+        b = HdrfVertexCut(seed=2).partition(small_twitter, 4)
+        assert np.array_equal(a.edge_machine, b.edge_machine)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_partitioner("random"), RandomVertexCut)
+        assert isinstance(make_partitioner("oblivious"), ObliviousVertexCut)
+        assert isinstance(make_partitioner("grid"), GridVertexCut)
+        assert isinstance(make_partitioner("hdrf"), HdrfVertexCut)
+
+    def test_unknown_name(self):
+        with pytest.raises(PartitionError, match="unknown"):
+            make_partitioner("magic")
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(PartitionError):
+            RandomVertexCut().partition(cycle_graph(4), 0)
+
+    def test_rejects_empty_graph(self):
+        from repro.graph import GraphBuilder
+
+        empty = GraphBuilder(num_vertices=3, repair_dangling="none").build()
+        with pytest.raises(PartitionError):
+            RandomVertexCut().partition(empty, 2)

@@ -1,0 +1,113 @@
+"""Tests for JSON/CSV experiment persistence."""
+
+import csv
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FigureResult,
+    load_figure_json,
+    load_rows_json,
+    row_from_dict,
+    row_to_dict,
+    save_figure_json,
+    save_rows_csv,
+    save_rows_json,
+)
+from repro.experiments.harness import ExperimentRow
+
+
+def _rows():
+    return [
+        ExperimentRow(
+            workload="twitter",
+            algorithm="FrogWild ps=0.7",
+            num_machines=16,
+            supersteps=4,
+            total_time_s=0.25,
+            time_per_iteration_s=0.0625,
+            network_bytes=123_456,
+            cpu_seconds=0.5,
+            mass_captured={30: 0.97, 100: 0.95},
+            exact_identification={30: 0.9},
+            params={"ps": 0.7, "num_frogs": 24_000},
+        ),
+        ExperimentRow(
+            workload="twitter",
+            algorithm="GraphLab PR exact",
+            num_machines=16,
+            supersteps=45,
+            total_time_s=8.0,
+            time_per_iteration_s=0.18,
+            network_bytes=99_000_000,
+            cpu_seconds=20.0,
+        ),
+    ]
+
+
+class TestRowRoundTrip:
+    def test_dict_round_trip(self):
+        row = _rows()[0]
+        restored = row_from_dict(row_to_dict(row))
+        assert restored == row
+
+    def test_int_keys_survive(self):
+        restored = row_from_dict(row_to_dict(_rows()[0]))
+        assert restored.mass_captured[100] == 0.95
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(ExperimentError):
+            row_from_dict({"workload": "x"})
+
+
+class TestJsonFiles:
+    def test_rows_round_trip(self, tmp_path):
+        rows = _rows()
+        path = save_rows_json(rows, tmp_path / "rows.json")
+        assert load_rows_json(path) == rows
+
+    def test_rows_file_not_array_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ExperimentError):
+            load_rows_json(path)
+
+    def test_figure_round_trip(self, tmp_path):
+        figure = FigureResult("3", "accuracy vs time", rows=_rows(), notes="n")
+        path = save_figure_json(figure, tmp_path / "fig.json")
+        restored = load_figure_json(path)
+        assert restored.figure_id == "3"
+        assert restored.title == "accuracy vs time"
+        assert restored.notes == "n"
+        assert restored.rows == figure.rows
+
+    def test_figure_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"title": "x"}', encoding="utf-8")
+        with pytest.raises(ExperimentError):
+            load_figure_json(path)
+
+
+class TestCsv:
+    def test_header_is_column_union(self, tmp_path):
+        path = save_rows_csv(_rows(), tmp_path / "rows.csv")
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            assert "mass@100" in reader.fieldnames
+            assert "ps" in reader.fieldnames
+            records = list(reader)
+        assert len(records) == 2
+        # Second row lacks mass@100: restval blank.
+        assert records[1]["mass@100"] == ""
+
+    def test_values_survive(self, tmp_path):
+        path = save_rows_csv(_rows(), tmp_path / "rows.csv")
+        with path.open() as handle:
+            records = list(csv.DictReader(handle))
+        assert records[0]["algorithm"] == "FrogWild ps=0.7"
+        assert float(records[0]["mass@30"]) == pytest.approx(0.97)
+
+    def test_empty_rows_raise(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            save_rows_csv([], tmp_path / "rows.csv")

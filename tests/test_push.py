@@ -1,0 +1,132 @@
+"""Unit tests for the forward local-push PageRank baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import GraphBuilder, complete_graph, cycle_graph, star_graph
+from repro.metrics import normalized_mass_captured
+from repro.pagerank import exact_pagerank, forward_push_pagerank
+
+
+class TestValidation:
+    def test_rejects_bad_eps(self, cycle10):
+        with pytest.raises(ConfigError):
+            forward_push_pagerank(cycle10, eps=0.0)
+
+    def test_rejects_bad_teleport(self, cycle10):
+        with pytest.raises(ConfigError):
+            forward_push_pagerank(cycle10, p_teleport=1.0)
+
+    def test_rejects_bad_max_pushes(self, cycle10):
+        with pytest.raises(ConfigError):
+            forward_push_pagerank(cycle10, max_pushes=0)
+
+    def test_rejects_out_of_range_seed(self, cycle10):
+        with pytest.raises(ConfigError):
+            forward_push_pagerank(cycle10, source=10)
+
+    def test_rejects_non_distribution_source(self, cycle10):
+        with pytest.raises(ConfigError):
+            forward_push_pagerank(cycle10, source=np.ones(10))
+
+    def test_rejects_misshaped_source(self, cycle10):
+        with pytest.raises(ConfigError):
+            forward_push_pagerank(cycle10, source=np.array([1.0]))
+
+
+class TestInvariants:
+    def test_mass_conservation(self, cycle10):
+        """estimate + residual account for exactly the unit source."""
+        result = forward_push_pagerank(cycle10, eps=1e-3)
+        total = result.estimate.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_residuals_below_threshold_on_convergence(self, cycle10):
+        eps = 1e-3
+        result = forward_push_pagerank(cycle10, eps=eps)
+        assert result.converged
+        out_deg = np.maximum(np.asarray(cycle10.out_degree()), 1)
+        assert np.all(result.residual < eps * out_deg + 1e-12)
+
+    def test_estimate_underestimates_pi(self, complete5):
+        """Forward push only ever adds absorbed mass: pointwise <= pi."""
+        result = forward_push_pagerank(complete5, eps=1e-6)
+        pi = exact_pagerank(complete5)
+        assert np.all(result.estimate <= pi + 1e-6)
+
+    def test_nonnegative_outputs(self, star8):
+        result = forward_push_pagerank(star8, eps=1e-4)
+        assert result.estimate.min() >= 0
+        assert result.residual.min() >= 0
+
+
+class TestAccuracy:
+    def test_converges_to_exact_on_cycle(self):
+        graph = cycle_graph(25)
+        result = forward_push_pagerank(graph, eps=1e-9)
+        pi = exact_pagerank(graph)
+        # Cycle PageRank is uniform; tiny eps recovers it closely.
+        assert np.abs(result.estimate - pi).max() < 1e-6
+
+    def test_smaller_eps_is_more_accurate(self, small_twitter):
+        pi = exact_pagerank(small_twitter)
+        coarse = forward_push_pagerank(small_twitter, eps=1e-3)
+        fine = forward_push_pagerank(small_twitter, eps=1e-6)
+        err_coarse = np.abs(coarse.estimate - pi).sum()
+        err_fine = np.abs(fine.estimate - pi).sum()
+        assert err_fine < err_coarse
+
+    def test_top_k_recovery(self, small_twitter):
+        pi = exact_pagerank(small_twitter)
+        result = forward_push_pagerank(small_twitter, eps=1e-6)
+        mass = normalized_mass_captured(result.estimate, pi, k=50)
+        assert mass > 0.99
+
+    def test_work_grows_with_precision(self, small_twitter):
+        coarse = forward_push_pagerank(small_twitter, eps=1e-3)
+        fine = forward_push_pagerank(small_twitter, eps=1e-5)
+        assert fine.pushes > coarse.pushes
+
+    def test_mass_accounted_increases_with_precision(self, small_twitter):
+        coarse = forward_push_pagerank(small_twitter, eps=1e-3)
+        fine = forward_push_pagerank(small_twitter, eps=1e-5)
+        assert fine.mass_accounted() > coarse.mass_accounted()
+
+
+class TestPersonalized:
+    def test_one_hot_source_matches_exact_ppr(self):
+        graph = cycle_graph(12)
+        seed = 3
+        result = forward_push_pagerank(graph, eps=1e-10, source=seed)
+        personalization = np.zeros(12)
+        personalization[seed] = 1.0
+        ppr = exact_pagerank(graph, personalization=personalization)
+        assert np.abs(result.estimate - ppr).max() < 1e-6
+
+    def test_seed_has_highest_score(self, small_twitter):
+        result = forward_push_pagerank(small_twitter, eps=1e-5, source=7)
+        assert int(np.argmax(result.estimate)) == 7
+
+    def test_array_source(self, cycle10):
+        source = np.zeros(10)
+        source[[2, 5]] = 0.5
+        result = forward_push_pagerank(cycle10, eps=1e-8, source=source)
+        total = result.estimate.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTermination:
+    def test_max_pushes_cap(self, small_twitter):
+        result = forward_push_pagerank(small_twitter, eps=1e-8, max_pushes=10)
+        assert not result.converged
+        assert result.pushes == 10
+
+    def test_dangling_vertices_absorb(self):
+        """Push on a graph with a sink: no crash, mass accounted."""
+        graph = GraphBuilder(
+            num_vertices=3, repair_dangling="none"
+        ).add_edges([(0, 1), (0, 2), (1, 2)]).build()
+        result = forward_push_pagerank(graph, eps=1e-6)
+        total = result.estimate.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)

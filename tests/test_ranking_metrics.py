@@ -1,0 +1,122 @@
+"""Tests for NDCG and rank-biased overlap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import ndcg_at_k, rank_biased_overlap
+
+
+def _scores(n, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.pareto(2.2, size=n) + 1e-9
+    return values / values.sum()
+
+
+class TestNdcg:
+    def test_perfect_estimate(self):
+        truth = _scores(50)
+        assert ndcg_at_k(truth, truth, 10) == pytest.approx(1.0)
+
+    def test_scaled_estimate_is_perfect(self):
+        truth = _scores(50)
+        assert ndcg_at_k(truth * 3.0, truth, 10) == pytest.approx(1.0)
+
+    def test_reversed_estimate_is_poor(self):
+        truth = np.sort(_scores(100))[::-1].copy()  # truth rank = index
+        reverse = truth[::-1].copy()
+        assert ndcg_at_k(reverse, truth, 10) < 0.2
+
+    def test_bounded_by_one(self):
+        truth = _scores(80, seed=1)
+        estimate = _scores(80, seed=2)
+        value = ndcg_at_k(estimate, truth, 20)
+        assert 0.0 <= value <= 1.0
+
+    def test_near_miss_better_than_far_miss(self):
+        """Swapping ranks 1 and 2 hurts less than swapping 1 and 50."""
+        truth = np.sort(_scores(50))[::-1].copy()
+        near = truth.copy()
+        near[[0, 1]] = near[[1, 0]]
+        far = truth.copy()
+        far[[0, 49]] = far[[49, 0]]
+        assert ndcg_at_k(near, truth, 10) > ndcg_at_k(far, truth, 10)
+
+    def test_k_larger_than_n_clamped(self):
+        truth = _scores(5)
+        assert ndcg_at_k(truth, truth, 100) == pytest.approx(1.0)
+
+    def test_zero_truth_returns_one(self):
+        zero = np.zeros(5)
+        assert ndcg_at_k(np.arange(5.0), zero, 3) == 1.0
+
+    def test_validation(self):
+        truth = _scores(10)
+        with pytest.raises(ConfigError):
+            ndcg_at_k(truth, truth, 0)
+        with pytest.raises(ConfigError):
+            ndcg_at_k(truth[:5], truth, 3)
+        with pytest.raises(ConfigError):
+            ndcg_at_k(truth, -truth, 3)
+
+
+class TestRbo:
+    def test_identical_rankings(self):
+        truth = _scores(40)
+        assert rank_biased_overlap(truth, truth) == pytest.approx(1.0)
+
+    def test_disjoint_prefixes_score_low(self):
+        # Estimate ranks exactly backwards on distinct values.
+        truth = np.arange(1.0, 41.0)
+        estimate = truth[::-1].copy()
+        assert rank_biased_overlap(estimate, truth, p=0.5) < 0.3
+
+    def test_bounded(self):
+        a, b = _scores(60, 1), _scores(60, 2)
+        assert 0.0 <= rank_biased_overlap(a, b) <= 1.0
+
+    def test_small_p_focuses_on_head(self):
+        """With agreement only at the head, small p scores higher."""
+        truth = np.sort(_scores(60))[::-1].copy()
+        estimate = truth.copy()
+        estimate[10:] = estimate[10:][::-1]  # scramble everything below 10
+        head_focused = rank_biased_overlap(estimate, truth, p=0.5)
+        deep = rank_biased_overlap(estimate, truth, p=0.99)
+        assert head_focused > deep
+
+    def test_depth_truncation(self):
+        truth = _scores(100, 3)
+        estimate = _scores(100, 4)
+        full = rank_biased_overlap(estimate, truth)
+        shallow = rank_biased_overlap(estimate, truth, depth=10)
+        assert 0.0 <= shallow <= 1.0
+        assert 0.0 <= full <= 1.0
+
+    def test_validation(self):
+        truth = _scores(10)
+        with pytest.raises(ConfigError):
+            rank_biased_overlap(truth, truth, p=1.0)
+        with pytest.raises(ConfigError):
+            rank_biased_overlap(truth[:4], truth)
+        with pytest.raises(ConfigError):
+            rank_biased_overlap(truth, truth, depth=0)
+        with pytest.raises(ConfigError):
+            rank_biased_overlap(np.array([]), np.array([]))
+
+    def test_estimator_quality_monotone_in_frogs(self, small_twitter):
+        """More frogs -> higher RBO against exact PageRank."""
+        from repro.core import FrogWildConfig, run_frogwild
+        from repro.pagerank import exact_pagerank
+
+        truth = exact_pagerank(small_twitter)
+        values = {}
+        for frogs in (500, 16_000):
+            result = run_frogwild(
+                small_twitter,
+                FrogWildConfig(num_frogs=frogs, iterations=4, seed=0),
+                num_machines=4,
+            )
+            values[frogs] = rank_biased_overlap(
+                result.estimate.vector(), truth, p=0.9, depth=50
+            )
+        assert values[16_000] > values[500]

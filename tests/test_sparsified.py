@@ -1,0 +1,78 @@
+"""Unit tests for the uniform-sparsification baseline (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pagerank import (
+    exact_pagerank,
+    sparsified_pagerank,
+    sparsify_uniform,
+)
+from repro.metrics import normalized_mass_captured
+
+
+class TestSparsify:
+    def test_q1_returns_same_graph(self, small_twitter):
+        assert sparsify_uniform(small_twitter, 1.0) is small_twitter
+
+    def test_keeps_roughly_q_fraction(self, small_twitter):
+        q = 0.5
+        sparse = sparsify_uniform(small_twitter, q, seed=0)
+        # Self-loop repair adds a few edges back, hence the loose band.
+        ratio = sparse.num_edges / small_twitter.num_edges
+        assert 0.45 < ratio < 0.60
+
+    def test_same_vertex_set(self, small_twitter):
+        sparse = sparsify_uniform(small_twitter, 0.3, seed=0)
+        assert sparse.num_vertices == small_twitter.num_vertices
+
+    def test_no_dangling_after_repair(self, small_twitter):
+        sparse = sparsify_uniform(small_twitter, 0.05, seed=0)
+        assert sparse.dangling_vertices().size == 0
+
+    def test_kept_edges_subset_plus_self_loops(self, small_twitter):
+        sparse = sparsify_uniform(small_twitter, 0.5, seed=0)
+        original = set(small_twitter.edges())
+        for u, v in sparse.edges():
+            assert (u, v) in original or u == v
+
+    def test_deterministic(self, small_twitter):
+        a = sparsify_uniform(small_twitter, 0.5, seed=3)
+        b = sparsify_uniform(small_twitter, 0.5, seed=3)
+        assert a == b
+
+    def test_rejects_bad_q(self, small_twitter):
+        with pytest.raises(ConfigError):
+            sparsify_uniform(small_twitter, 0.0)
+        with pytest.raises(ConfigError):
+            sparsify_uniform(small_twitter, 1.2)
+
+
+class TestSparsifiedPageRank:
+    def test_runs_and_reports(self, small_twitter):
+        result = sparsified_pagerank(
+            small_twitter, keep_probability=0.6, num_machines=4
+        )
+        assert result.report.supersteps == 2
+        assert result.report.extra["keep_probability"] == 0.6
+        assert result.report.network_bytes > 0
+
+    def test_less_traffic_than_full_graph(self, small_twitter):
+        from repro.pagerank import graphlab_pagerank
+
+        full = graphlab_pagerank(small_twitter, num_machines=4, iterations=2)
+        sparse = sparsified_pagerank(
+            small_twitter, keep_probability=0.4, num_machines=4
+        )
+        assert sparse.report.network_bytes < full.report.network_bytes
+
+    def test_accuracy_degrades_gracefully(self, small_twitter):
+        truth = exact_pagerank(small_twitter)
+        heavy = sparsified_pagerank(small_twitter, 0.9, num_machines=4)
+        light = sparsified_pagerank(small_twitter, 0.2, num_machines=4)
+        mass_heavy = normalized_mass_captured(heavy.ranks, truth, 50)
+        mass_light = normalized_mass_captured(light.ranks, truth, 50)
+        assert mass_heavy > 0.9
+        assert mass_light > 0.5
+        assert mass_heavy >= mass_light

@@ -1,0 +1,93 @@
+"""Coverage for engine stats, run reports and the error hierarchy."""
+
+import pytest
+
+from repro.engine import EngineStats, RunReport, StepRecord
+from repro.errors import (
+    ConfigError,
+    EngineError,
+    ExperimentError,
+    GraphError,
+    GraphFormatError,
+    PartitionError,
+    ReproError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            GraphError,
+            GraphFormatError,
+            PartitionError,
+            EngineError,
+            ConfigError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_format_error_is_graph_error(self):
+        assert issubclass(GraphFormatError, GraphError)
+
+    def test_catching_base_does_not_mask_others(self):
+        with pytest.raises(ValueError):
+            try:
+                raise ValueError("not ours")
+            except ReproError:  # pragma: no cover - must not trigger
+                pytest.fail("ReproError must not catch ValueError")
+
+
+class TestEngineStats:
+    def test_accumulation(self):
+        stats = EngineStats()
+        stats.record_step(active=10, bytes_sent=100, cpu_ops=5, sim_seconds=0.5)
+        stats.record_step(active=3, bytes_sent=50, cpu_ops=2, sim_seconds=0.25)
+        assert stats.num_supersteps == 2
+        assert stats.total_bytes() == 150
+        assert stats.total_cpu_ops() == 7
+        assert stats.total_seconds() == pytest.approx(0.75)
+        assert stats.seconds_per_step() == pytest.approx(0.375)
+
+    def test_step_indices(self):
+        stats = EngineStats()
+        for _ in range(3):
+            stats.record_step(0, 0, 0, 0.0)
+        assert [s.step for s in stats.steps] == [0, 1, 2]
+
+    def test_empty(self):
+        stats = EngineStats()
+        assert stats.total_bytes() == 0
+        assert stats.seconds_per_step() == 0.0
+
+    def test_records_are_frozen(self):
+        record = StepRecord(0, 1, 2, 3, 4.0)
+        with pytest.raises(Exception):
+            record.active = 99
+
+
+class TestRunReport:
+    def test_as_dict_merges_extra(self):
+        report = RunReport(
+            algorithm="x",
+            num_machines=4,
+            supersteps=2,
+            total_time_s=1.0,
+            time_per_iteration_s=0.5,
+            network_bytes=10,
+            cpu_seconds=0.1,
+            extra={"ps": 0.7},
+        )
+        d = report.as_dict()
+        assert d["algorithm"] == "x"
+        assert d["ps"] == 0.7
+        assert d["network_bytes"] == 10
+
+    def test_extra_defaults_empty(self):
+        report = RunReport("y", 1, 1, 0.0, 0.0, 0, 0.0)
+        assert report.extra == {}
+        assert "algorithm" in report.as_dict()

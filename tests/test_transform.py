@@ -1,0 +1,95 @@
+"""Tests for SCC decomposition and subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    cycle_graph,
+    from_edges,
+    is_strongly_connected,
+    largest_scc,
+    strongly_connected_components,
+    subgraph_vertices,
+    twitter_like,
+)
+
+
+@pytest.fixture
+def two_components():
+    """Two 3-cycles joined by a one-way bridge 2 -> 3."""
+    return from_edges(
+        [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+    )
+
+
+class TestScc:
+    def test_labels_partition_two_cycles(self, two_components):
+        labels = strongly_connected_components(two_components)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_single_component(self):
+        labels = strongly_connected_components(cycle_graph(6))
+        assert np.unique(labels).size == 1
+
+    def test_singletons_in_dag(self):
+        g = from_edges([(0, 1), (1, 2)], repair_dangling="none")
+        labels = strongly_connected_components(g)
+        assert np.unique(labels).size == 3
+
+    def test_empty_graph(self):
+        from repro.graph import GraphBuilder
+
+        empty = GraphBuilder(num_vertices=0, repair_dangling="none").build()
+        assert strongly_connected_components(empty).size == 0
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self, two_components):
+        sub = subgraph_vertices(
+            two_components, np.array([0, 1, 2]), repair_dangling="none"
+        )
+        assert sub.num_vertices == 3
+        assert sorted(sub.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_mapping_returned(self, two_components):
+        sub, mapping = subgraph_vertices(
+            two_components, np.array([3, 5]), return_mapping=True,
+            repair_dangling="none",
+        )
+        assert list(mapping) == [3, 5]
+        assert sub.num_vertices == 2
+
+    def test_duplicates_collapsed(self, two_components):
+        sub = subgraph_vertices(two_components, np.array([0, 0, 1]))
+        assert sub.num_vertices == 2
+
+    def test_validation(self, two_components):
+        with pytest.raises(GraphError):
+            subgraph_vertices(two_components, np.array([], dtype=np.int64))
+        with pytest.raises(GraphError):
+            subgraph_vertices(two_components, np.array([99]))
+
+
+class TestLargestScc:
+    def test_extracts_bigger_cycle(self):
+        g = from_edges(
+            # 4-cycle and a 2-cycle, connected one way.
+            [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 4), (0, 4)]
+        )
+        scc, mapping = largest_scc(g, return_mapping=True)
+        assert scc.num_vertices == 4
+        assert sorted(mapping.tolist()) == [0, 1, 2, 3]
+        assert is_strongly_connected(scc)
+
+    def test_result_strongly_connected_on_powerlaw(self):
+        g = twitter_like(n=1000, seed=4)
+        scc = largest_scc(g)
+        assert is_strongly_connected(scc)
+        assert scc.num_vertices > 100
+
+    def test_whole_graph_when_connected(self):
+        g = cycle_graph(9)
+        assert largest_scc(g).num_vertices == 9

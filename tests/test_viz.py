@@ -1,0 +1,239 @@
+"""Unit tests for the ASCII chart subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz import (
+    Canvas,
+    LinearScale,
+    LogScale,
+    Series,
+    bar_chart,
+    figure_chart,
+    line_chart,
+    make_scale,
+    rows_to_series,
+    scatter_chart,
+)
+
+
+class TestLinearScale:
+    def test_projects_endpoints(self):
+        scale = LinearScale(0.0, 10.0)
+        assert scale.project(np.array([0.0]))[0] == 0.0
+        assert scale.project(np.array([10.0]))[0] == 1.0
+
+    def test_projects_midpoint(self):
+        scale = LinearScale(0.0, 4.0)
+        assert scale.project(np.array([2.0]))[0] == pytest.approx(0.5)
+
+    def test_degenerate_range_widens(self):
+        scale = LinearScale(5.0, 5.0)
+        frac = scale.project(np.array([5.0]))[0]
+        assert 0.0 < frac < 1.0
+
+    def test_ticks_are_nice(self):
+        ticks = LinearScale(0.0, 10.0).ticks(5)
+        assert 0.0 in ticks and 10.0 in ticks
+        steps = np.diff(ticks)
+        assert np.allclose(steps, steps[0])
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ConfigError):
+            LinearScale(3.0, 1.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ConfigError):
+            LinearScale(0.0, float("inf"))
+
+    def test_format_small_and_large(self):
+        scale = LinearScale(0.0, 1.0)
+        assert scale.format_tick(0) == "0"
+        assert "e" in scale.format_tick(1e7)
+
+
+class TestLogScale:
+    def test_projects_decades(self):
+        scale = LogScale(1.0, 100.0)
+        assert scale.project(np.array([1.0]))[0] == pytest.approx(0.0)
+        assert scale.project(np.array([10.0]))[0] == pytest.approx(0.5)
+        assert scale.project(np.array([100.0]))[0] == pytest.approx(1.0)
+
+    def test_ticks_are_decades(self):
+        ticks = LogScale(1.0, 1000.0).ticks()
+        assert all(np.log10(t).is_integer() for t in ticks)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            LogScale(0.0, 10.0)
+
+    def test_factory(self):
+        assert isinstance(make_scale(1, 10, log=True), LogScale)
+        assert isinstance(make_scale(0, 10), LinearScale)
+
+    def test_format_decade(self):
+        assert LogScale(1, 100).format_tick(100.0) == "1e2"
+
+
+class TestCanvas:
+    def test_put_and_render(self):
+        canvas = Canvas(5, 2)
+        canvas.put(0, 0, "a")
+        canvas.put(4, 1, "b")
+        assert canvas.render() == "a\n    b"
+
+    def test_out_of_bounds_put_is_clipped(self):
+        canvas = Canvas(3, 3)
+        canvas.put(10, 10, "x")  # must not raise
+        assert "x" not in canvas.render()
+
+    def test_get_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            Canvas(2, 2).get(5, 0)
+
+    def test_text_clips(self):
+        canvas = Canvas(4, 1)
+        canvas.text(2, 0, "abcdef")
+        assert canvas.render() == "  ab"
+
+    def test_segment_endpoints(self):
+        canvas = Canvas(10, 10)
+        canvas.segment(0, 0, 9, 9, "*")
+        assert canvas.get(0, 0) == "*"
+        assert canvas.get(9, 9) == "*"
+        assert canvas.get(5, 5) == "*"
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            Canvas(0, 5)
+
+    def test_rejects_multichar_put(self):
+        with pytest.raises(ConfigError):
+            Canvas(2, 2).put(0, 0, "ab")
+
+
+class TestSeries:
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigError):
+            Series("s", np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestCharts:
+    def _series(self):
+        xs = np.linspace(1, 10, 10)
+        return [
+            Series("rising", xs, xs * 2),
+            Series("falling", xs, 30 - xs),
+        ]
+
+    def test_scatter_contains_markers_and_legend(self):
+        text = scatter_chart(self._series(), title="demo")
+        assert "demo" in text
+        assert "* rising" in text
+        assert "o falling" in text
+
+    def test_line_chart_draws_connections(self):
+        text = line_chart(
+            [Series("d", np.array([1.0, 10.0]), np.array([1.0, 10.0]))]
+        )
+        assert "." in text  # interpolated segment characters
+
+    def test_axis_labels_present(self):
+        text = scatter_chart(
+            self._series(), x_label="time", y_label="accuracy"
+        )
+        assert "[x: time]" in text
+        assert "[y: accuracy]" in text
+
+    def test_log_axes(self):
+        xs = np.array([1.0, 100.0, 10_000.0])
+        text = scatter_chart([Series("s", xs, xs)], log_x=True, log_y=True)
+        assert "1e" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            scatter_chart([])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigError):
+            scatter_chart(self._series(), width=10, height=3)
+
+    def test_deterministic(self):
+        assert scatter_chart(self._series()) == scatter_chart(self._series())
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart(["a", "bb"], [1.0, 4.0])
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_title(self):
+        assert bar_chart(["x"], [1.0], title="T").startswith("T")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["x"], [-1.0])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["x", "y"], [1.0])
+
+    def test_log_mode_requires_positive(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["x", "y"], [0.0, 2.0], log=True)
+
+
+class TestAdapters:
+    def _rows(self):
+        return [
+            {"algorithm": "A", "t": 1.0, "acc": 0.9},
+            {"algorithm": "A", "t": 2.0, "acc": 0.95},
+            {"algorithm": "B", "t": 0.5, "acc": 0.7},
+        ]
+
+    def test_grouping(self):
+        series = rows_to_series(self._rows(), x="t", y="acc")
+        labels = {s.label for s in series}
+        assert labels == {"A", "B"}
+        a = next(s for s in series if s.label == "A")
+        assert a.xs.size == 2
+
+    def test_skips_rows_missing_columns(self):
+        rows = self._rows() + [{"algorithm": "C"}]
+        series = rows_to_series(rows, x="t", y="acc")
+        assert {s.label for s in series} == {"A", "B"}
+
+    def test_raises_when_nothing_matches(self):
+        with pytest.raises(ConfigError):
+            rows_to_series(self._rows(), x="nope", y="acc")
+
+    def test_figure_chart_smoke(self):
+        from repro.experiments import FigureResult
+        from repro.experiments.harness import ExperimentRow
+
+        rows = [
+            ExperimentRow(
+                workload="w",
+                algorithm=f"alg{i}",
+                num_machines=4,
+                supersteps=3,
+                total_time_s=float(i + 1),
+                time_per_iteration_s=0.3,
+                network_bytes=1000 * (i + 1),
+                cpu_seconds=0.2,
+                mass_captured={100: 0.8 + 0.05 * i},
+            )
+            for i in range(3)
+        ]
+        figure = FigureResult("9", "synthetic", rows=rows)
+        text = figure_chart(figure, x="total_time_s", y="mass@100")
+        assert "Figure 9" in text
+        assert "alg0" in text
+
+    def test_figure_chart_rejects_bad_kind(self):
+        from repro.experiments import FigureResult
+
+        with pytest.raises(ConfigError):
+            figure_chart(FigureResult("9", "t"), x="a", y="b", kind="pie")

@@ -1,0 +1,86 @@
+"""Coverage for workload scaling helpers and paper constants."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_FROGS,
+    PAPER_LIVEJOURNAL_VERTICES,
+    PAPER_TWITTER_VERTICES,
+    livejournal_workload,
+    twitter_workload,
+)
+
+
+class TestPaperConstants:
+    def test_dataset_sizes_from_paper(self):
+        assert PAPER_TWITTER_VERTICES == 41_600_000
+        assert PAPER_LIVEJOURNAL_VERTICES == 4_800_000
+        assert PAPER_FROGS == 800_000
+
+
+class TestFrogScaling:
+    def test_identity_at_paper_default(self):
+        w = twitter_workload(n=700, default_frogs=999)
+        assert w.frogs_scaled(PAPER_FROGS) == 999
+
+    def test_proportional(self):
+        w = twitter_workload(n=700, default_frogs=1000)
+        assert w.frogs_scaled(400_000) == 500
+        assert w.frogs_scaled(1_200_000) == 1500
+
+    def test_floor_at_one(self):
+        w = twitter_workload(n=700, default_frogs=1)
+        assert w.frogs_scaled(1) == 1
+
+    def test_rounding(self):
+        w = twitter_workload(n=700, default_frogs=1000)
+        # 999_999 / 800_000 * 1000 = 1249.99...
+        assert w.frogs_scaled(999_999) == 1250
+
+
+class TestWorkloadIdentity:
+    def test_names(self):
+        assert twitter_workload(n=600).name == "twitter"
+        assert livejournal_workload(n=600).name == "livejournal"
+
+    def test_paper_counterparts_recorded(self):
+        assert (
+            twitter_workload(n=600).paper_vertices == PAPER_TWITTER_VERTICES
+        )
+        assert (
+            livejournal_workload(n=600).paper_vertices
+            == PAPER_LIVEJOURNAL_VERTICES
+        )
+
+    def test_livejournal_more_reciprocal(self):
+        from repro.graph import reciprocity
+
+        tw = twitter_workload(n=1500).graph
+        lj = livejournal_workload(n=1500).graph
+        assert reciprocity(lj) > reciprocity(tw)
+
+
+class TestRmatWorkload:
+    def test_rmat_workload_shape(self):
+        from repro.experiments import rmat_workload
+
+        workload = rmat_workload(scale=10, edge_factor=8)
+        assert workload.graph.num_vertices == 1024
+        assert workload.name == "rmat10"
+        assert workload.paper_vertices == 1024
+
+    def test_rmat_workload_truth_cached(self):
+        from repro.experiments import rmat_workload
+
+        workload = rmat_workload(scale=10, edge_factor=8)
+        truth_a = workload.truth
+        truth_b = workload.truth
+        assert truth_a is truth_b
+        assert abs(truth_a.sum() - 1.0) < 1e-9
+
+    def test_rmat_graph_cached_across_workloads(self):
+        from repro.experiments import rmat_workload
+
+        a = rmat_workload(scale=10, edge_factor=8)
+        b = rmat_workload(scale=10, edge_factor=8)
+        assert a.graph is b.graph
