@@ -1,0 +1,10 @@
+"""Legacy-compatible install shim.
+
+All package metadata lives in ``pyproject.toml``; this file only lets
+minimal environments (no ``wheel``, no network for build isolation)
+fall back to ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

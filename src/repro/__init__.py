@@ -28,12 +28,17 @@ from .core import (
     AdaptiveConfig,
     AdaptiveResult,
     run_adaptive_frogwild,
+    BatchQuery,
+    BatchedFrogWildResult,
+    BatchedFrogWildRunner,
     FrogWildConfig,
     FrogWildResult,
     FrogWildRunner,
     PageRankEstimate,
     run_frogwild,
+    run_frogwild_batch,
     run_personalized_frogwild,
+    run_personalized_frogwild_batch,
     seed_distribution,
     top_k_indices,
 )
@@ -69,7 +74,7 @@ from .pagerank import (
     sparsified_pagerank,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -82,11 +87,16 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptiveResult",
     "run_adaptive_frogwild",
+    "BatchQuery",
+    "BatchedFrogWildResult",
+    "BatchedFrogWildRunner",
     "FrogWildConfig",
     "FrogWildResult",
     "FrogWildRunner",
     "run_frogwild",
+    "run_frogwild_batch",
     "run_personalized_frogwild",
+    "run_personalized_frogwild_batch",
     "seed_distribution",
     "PageRankEstimate",
     "top_k_indices",

@@ -19,6 +19,9 @@ Subcommands
     Track the top-k over a churning graph (the OSN scenario).
 ``faults``
     Run FrogWild under injected crashes / message loss.
+``serve-bench``
+    Benchmark the batched top-k serving layer against sequential
+    single-query execution, then demonstrate the result cache.
 """
 
 from __future__ import annotations
@@ -187,6 +190,30 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--machines", type=int, default=8)
     faults.add_argument("--top-k", type=int, default=10)
     faults.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the batched top-k serving layer",
+    )
+    serve.add_argument(
+        "--workload", choices=("twitter", "livejournal", "rmat"), default="rmat"
+    )
+    serve.add_argument("--edge-list")
+    serve.add_argument("--n", type=int, default=20_000)
+    serve.add_argument(
+        "--rmat-scale", type=int, default=13,
+        help="log2 vertices of the RMAT workload",
+    )
+    serve.add_argument("--queries", type=int, default=16,
+                       help="number of personalized queries to serve")
+    serve.add_argument("--batch-size", type=int, default=16)
+    serve.add_argument("--seeds-per-query", type=int, default=3)
+    serve.add_argument("--frogs", type=int, default=3_000)
+    serve.add_argument("--iterations", type=int, default=5)
+    serve.add_argument("--ps", type=float, default=0.8)
+    serve.add_argument("--machines", type=int, default=16)
+    serve.add_argument("--top-k", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0)
 
     chart = sub.add_parser(
         "chart", help="render a saved figure JSON as an ASCII chart"
@@ -467,6 +494,105 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import numpy as np
+
+    from .core import run_personalized_frogwild
+    from .engine import build_cluster
+    from .serving import RankingQuery, RankingService
+
+    if args.workload == "rmat" and not args.edge_list:
+        from .graph import rmat
+
+        graph = rmat(scale=args.rmat_scale, seed=args.seed)
+    else:
+        graph = _load_graph(args)
+    config = FrogWildConfig(
+        num_frogs=args.frogs,
+        iterations=args.iterations,
+        ps=args.ps,
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    seed_sets = [
+        np.sort(
+            rng.choice(
+                graph.num_vertices, size=args.seeds_per_query, replace=False
+            )
+        )
+        for _ in range(args.queries)
+    ]
+    service = RankingService(
+        graph,
+        config,
+        num_machines=args.machines,
+        max_batch_size=args.batch_size,
+        cache_capacity=max(256, 2 * args.queries),
+        seed=args.seed,
+    )
+    print(
+        f"workload: {graph.num_vertices:,} vertices, "
+        f"{graph.num_edges:,} edges on {args.machines} machines"
+    )
+
+    # Sequential baseline: one traversal per query over the same shared
+    # ingress partition (the repo's repeated-run idiom, cf. adaptive).
+    start = time.perf_counter()
+    sequential = []
+    for seeds in seed_sets:
+        state = build_cluster(
+            graph,
+            args.machines,
+            seed=args.seed,
+            partition=service.replication.partition,
+        )
+        sequential.append(
+            run_personalized_frogwild(graph, seeds, config, state=state)
+        )
+    sequential_s = time.perf_counter() - start
+
+    queries = [
+        RankingQuery(seeds=tuple(seeds.tolist()), k=args.top_k)
+        for seeds in seed_sets
+    ]
+    start = time.perf_counter()
+    answers = service.query_batch(queries)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reheated = service.query_batch(queries)
+    cached_s = time.perf_counter() - start
+
+    print(f"sequential ({args.queries} queries) : {sequential_s:.3f} s")
+    print(f"batched    (batch<={args.batch_size:3d})     : {batched_s:.3f} s"
+          f"  ({batched_s / sequential_s:.2f}x)")
+    print(f"cache-hit replay          : {cached_s:.3f} s"
+          f"  ({cached_s / sequential_s:.2f}x)")
+    stats = service.stats
+    print(f"batches run               : {stats.batches_run} "
+          f"(sizes {stats.batch_sizes})")
+    print(f"wire bytes (shared)       : {stats.shared_network_bytes:,}")
+    print(f"wire bytes (attributed)   : {stats.attributed_network_bytes:,}")
+    print(f"amortization ratio        : {stats.amortization_ratio():.3f}")
+    print(f"cache                     : {service.cache_stats()}")
+    misses = sum(not answer.cached for answer in reheated)
+    if misses:
+        print(f"  warning: {misses}/{len(reheated)} replayed queries "
+              "re-executed — raise the service cache capacity above "
+              f"{args.queries} to serve repeats from cache")
+    for answer, single in zip(answers, sequential):
+        agreement = len(
+            set(answer.vertices.tolist())
+            & set(single.estimate.top_k(args.top_k).tolist())
+        ) / args.top_k
+        if agreement < 1.0:
+            print(f"  note: top-{args.top_k} overlap vs sequential "
+                  f"{agreement:.0%} for seeds {answer.query.seeds}")
+    print(f"sample answer             : seeds {answers[0].query.seeds} -> "
+          f"{answers[0].vertices.tolist()}")
+    return 0
+
+
 def _cmd_chart(args) -> int:
     from .experiments import load_figure_json
     from .viz import figure_chart
@@ -495,6 +621,7 @@ _COMMANDS = {
     "adaptive": _cmd_adaptive,
     "track": _cmd_track,
     "faults": _cmd_faults,
+    "serve-bench": _cmd_serve_bench,
     "chart": _cmd_chart,
 }
 

@@ -7,6 +7,12 @@ from .adaptive import (
     run_adaptive_frogwild,
     top_k_jaccard,
 )
+from .batched import (
+    BatchedFrogWildResult,
+    BatchedFrogWildRunner,
+    BatchQuery,
+    run_frogwild_batch,
+)
 from .config import FrogWildConfig
 from .erasures import (
     AtLeastOneOutEdge,
@@ -18,9 +24,18 @@ from .erasures import (
 from .estimator import PageRankEstimate, top_k_indices
 from .frogwild import FrogWildResult, FrogWildRunner, run_frogwild
 from .gossip import GossipResult, run_gossip
-from .personalized import run_personalized_frogwild, seed_distribution
+from .personalized import (
+    run_personalized_frogwild,
+    run_personalized_frogwild_batch,
+    seed_distribution,
+)
 
 __all__ = [
+    "BatchQuery",
+    "BatchedFrogWildResult",
+    "BatchedFrogWildRunner",
+    "run_frogwild_batch",
+    "run_personalized_frogwild_batch",
     "AdaptiveConfig",
     "AdaptiveResult",
     "AdaptiveRound",

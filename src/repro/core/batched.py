@@ -1,0 +1,514 @@
+"""Batched multi-query FrogWild: B frog populations, one traversal.
+
+Lemma 16 makes any birth law a teleport vector, so a personalized
+top-k query is *just* a frog population with a different start
+distribution — the partitioned-graph traversal it rides is identical
+for every query.  This module exploits that: a batch of B independent
+populations (each with its own teleport vector, frog budget, seed and
+``ps``) advances through a **single shared superstep loop**.  Per
+superstep the batch pays once for
+
+* the machine-grouped topology gather of the union scatter frontier
+  (each population's group view is a boolean slice of it),
+* the BSP barrier (one :meth:`~repro.engine.ClusterState.end_superstep`),
+* the physical per-machine-pair messages — all populations' sync and
+  frog records ride the same wire flush, so per-message headers are
+  amortized across the batch,
+
+while deaths, sync coins, erasure repairs and hops stay per-population
+(each population owns an rng seeded exactly like the single-query
+runner's).  Consequently a batch of size one is **bit-identical** to
+:class:`~repro.core.frogwild.FrogWildRunner` under the same seed — the
+equivalence the regression tests in ``tests/test_batched_frogwild.py``
+pin down.
+
+Cost attribution stays per-population: every lane carries a
+:class:`~repro.engine.CostLedger` tallying the CPU ops, records and
+messages it alone caused, and its :class:`~repro.engine.RunReport`
+prices them as if it had run standalone.  The gap between the summed
+standalone bytes and the fabric's actual bytes is the amortization the
+batch bought — the quantity ``benchmarks/bench_serving.py`` plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster import CostModel, EdgePartition, MessageSizeModel
+from ..engine import (
+    ClusterState,
+    CostLedger,
+    MirrorSynchronizer,
+    RunReport,
+    build_cluster,
+    sync_pair_records,
+)
+from ..errors import ConfigError, EngineError
+from ..graph import DiGraph
+from .config import FrogWildConfig
+from .erasures import make_erasure_model
+from .estimator import PageRankEstimate
+from .frogwild import (
+    FrogWildResult,
+    _choose_repair_positions,
+    _gather_groups,
+    _KernelTables,
+    _scatter_binomial,
+    _scatter_multinomial,
+)
+
+__all__ = [
+    "BatchQuery",
+    "BatchedFrogWildResult",
+    "BatchedFrogWildRunner",
+    "run_frogwild_batch",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class BatchQuery:
+    """One frog population riding a batched execution.
+
+    Every field defaults to the batch-wide :class:`FrogWildConfig`;
+    ``start_distribution`` is the per-query teleport/birth law (None
+    means uniform, i.e. global PageRank) and ``ps`` may thin this
+    population's mirror synchronization independently of its batchmates.
+    """
+
+    num_frogs: int | None = None
+    start_distribution: np.ndarray | None = None
+    seed: int | None = None
+    ps: float | None = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class BatchedFrogWildResult:
+    """Per-population results plus the shared-execution report.
+
+    ``results[i]`` is the i-th query's estimate and *attributed* report
+    (costs it alone caused, priced standalone); ``report`` is the
+    physical execution — its ``network_bytes`` are what actually crossed
+    the wire, which is less than the sum of the attributed bytes
+    whenever the batch amortized messages.
+    """
+
+    results: tuple[FrogWildResult, ...]
+    report: RunReport
+    state: ClusterState
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def estimates(self) -> list[PageRankEstimate]:
+        return [result.estimate for result in self.results]
+
+    def top_k(self, k: int) -> list[np.ndarray]:
+        """Per-query top-k vertex ids, in query order."""
+        return [result.estimate.top_k(k) for result in self.results]
+
+    def attributed_network_bytes(self) -> int:
+        """Sum of standalone-priced per-query bytes (>= actual bytes)."""
+        return sum(result.report.network_bytes for result in self.results)
+
+    def amortization_ratio(self) -> float:
+        """Actual shared bytes over summed standalone bytes (<= 1)."""
+        attributed = self.attributed_network_bytes()
+        if attributed == 0:
+            return 1.0
+        return self.report.network_bytes / attributed
+
+
+class _Lane:
+    """Mutable per-population state inside the shared superstep loop."""
+
+    __slots__ = (
+        "index",
+        "label",
+        "num_frogs",
+        "ps",
+        "seed",
+        "start_distribution",
+        "rng",
+        "synchronizer",
+        "ledger",
+        "frogs",
+        "counts",
+        "sv",
+        "k_sv",
+        "finished_at",
+        "sim_time_s",
+    )
+
+    def __init__(self) -> None:
+        self.sv = None
+        self.k_sv = None
+        self.finished_at = None
+        self.sim_time_s = 0.0
+
+
+class BatchedFrogWildRunner:
+    """Executes B FrogWild populations on one prepared cluster.
+
+    The frog-count state is conceptually a ``(B, n)`` matrix — one row
+    per population — advanced by a single traversal of the partitioned
+    graph per superstep.  All populations share ``iterations``,
+    ``p_teleport``, ``scatter_mode`` and ``erasure_model`` from the
+    batch config (the serving layer's coalescer never mixes configs in
+    one batch); frog budget, birth law, seed and ``ps`` are per-query.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        config: FrogWildConfig,
+        queries: Sequence[BatchQuery],
+    ) -> None:
+        if not queries:
+            raise ConfigError("a batch needs at least one query")
+        self.state = state
+        self.config = config
+        self.tables = _KernelTables(state)
+        self.erasure = make_erasure_model(config.erasure_model)
+        size_model = state.fabric.size_model
+        # One mirror bitmap shared by every population's synchronizer.
+        mirror_matrix = MirrorSynchronizer.build_mirror_matrix(state)
+        n = state.num_vertices
+        self.lanes: list[_Lane] = []
+        for index, query in enumerate(queries):
+            lane = _Lane()
+            lane.index = index
+            lane.label = query.label
+            lane.num_frogs = (
+                config.num_frogs if query.num_frogs is None else query.num_frogs
+            )
+            if lane.num_frogs < 1:
+                raise ConfigError("num_frogs must be positive")
+            lane.ps = config.ps if query.ps is None else query.ps
+            if not 0.0 <= lane.ps <= 1.0:
+                raise ConfigError(f"ps must lie in [0, 1], got {lane.ps}")
+            lane.seed = config.seed if query.seed is None else query.seed
+            distribution = query.start_distribution
+            if distribution is not None:
+                distribution = np.asarray(distribution, np.float64)
+                if distribution.shape != (n,):
+                    raise EngineError(
+                        "start_distribution must have one entry per vertex"
+                    )
+                if distribution.min() < 0 or not np.isclose(
+                    distribution.sum(), 1.0
+                ):
+                    raise EngineError(
+                        "start_distribution must be a probability distribution"
+                    )
+            lane.start_distribution = distribution
+            # Same stream derivation as the single-query runner, so a
+            # B=1 batch replays its exact coin sequence.
+            lane.rng = np.random.default_rng(
+                lane.seed if lane.seed is None else [104, lane.seed]
+            )
+            lane.synchronizer = MirrorSynchronizer(
+                state, lane.ps, lane.rng, mirror_matrix=mirror_matrix
+            )
+            lane.ledger = CostLedger(
+                record_bytes=size_model.record_bytes(),
+                message_header_bytes=size_model.message_header_bytes,
+            )
+            self.lanes.append(lane)
+
+    # ------------------------------------------------------------------
+    def run(self) -> BatchedFrogWildResult:
+        """Run the shared superstep loop and return per-query results."""
+        state = self.state
+        cfg = self.config
+        n = state.num_vertices
+        if n == 0:
+            raise EngineError("cannot run FrogWild on an empty graph")
+        num_machines = state.num_machines
+        masters = self.tables.masters
+
+        # init(): every population born from its own start law.
+        for lane in self.lanes:
+            if lane.start_distribution is None:
+                birth = lane.rng.integers(0, n, size=lane.num_frogs)
+            else:
+                birth = lane.rng.choice(
+                    n, size=lane.num_frogs, p=lane.start_distribution
+                )
+            lane.frogs = np.bincount(birth, minlength=n).astype(np.int64)
+            lane.counts = np.zeros(n, dtype=np.int64)
+
+        for step in range(cfg.iterations):
+            live: list[tuple[_Lane, np.ndarray]] = []
+            active_union = np.zeros(n, dtype=bool)
+            for lane in self.lanes:
+                if lane.finished_at is not None:
+                    continue
+                active_idx = np.flatnonzero(lane.frogs)
+                if active_idx.size == 0:
+                    lane.finished_at = step
+                    continue
+                live.append((lane, active_idx))
+                active_union[active_idx] = True
+            if not live:
+                break
+
+            # ---------------- apply(): per-population deaths -----------
+            apply_ops = np.zeros(num_machines, dtype=np.int64)
+            scatter_mask = np.zeros(n, dtype=bool)
+            for lane, active_idx in live:
+                k_active = lane.frogs[active_idx]
+                dead = lane.rng.binomial(k_active, cfg.p_teleport)
+                np.add.at(lane.counts, active_idx, dead)
+                survivors = k_active - dead
+                ops = np.bincount(
+                    masters[active_idx], weights=k_active, minlength=num_machines
+                ).astype(np.int64)
+                apply_ops += ops
+                lane.ledger.charge_ops(int(ops.sum()))
+                moving = survivors > 0
+                lane.sv = active_idx[moving]
+                lane.k_sv = survivors[moving].astype(np.int64)
+                scatter_mask[lane.sv] = True
+            state.charge_many(apply_ops, phase="apply")
+
+            sv_union = np.flatnonzero(scatter_mask)
+            if sv_union.size:
+                self._scatter_phase(live, sv_union)
+            else:
+                for lane, _ in live:
+                    lane.frogs = np.zeros(n, dtype=np.int64)
+
+            state.end_superstep(int(active_union.sum()))
+            step_seconds = state.stats.steps[-1].sim_seconds
+            for lane, _ in live:
+                lane.ledger.supersteps += 1
+                lane.sim_time_s += step_seconds
+
+        # Cut-off: survivors are counted where they stand (Process 15).
+        results = []
+        for lane in self.lanes:
+            lane.counts += lane.frogs
+            estimate = PageRankEstimate(lane.counts, lane.num_frogs)
+            results.append(
+                FrogWildResult(estimate, self._lane_report(lane), state)
+            )
+        return BatchedFrogWildResult(
+            tuple(results), self._batch_report(), state
+        )
+
+    # ------------------------------------------------------------------
+    def _scatter_phase(
+        self, live: list[tuple[_Lane, np.ndarray]], sv_union: np.ndarray
+    ) -> None:
+        """Sync + scatter every live population over one shared gather.
+
+        The union frontier is gathered once; each population's group
+        view is a boolean slice of it.  Physical accounting (pair
+        matrices, CPU vectors) is summed across populations and flushed
+        once, in the same round structure as the single-query runner
+        (sync, then repair, then scatter) so a B=1 batch produces the
+        identical message sequence.
+        """
+        state = self.state
+        cfg = self.config
+        tables = self.tables
+        masters = tables.masters
+        n = state.num_vertices
+        num_machines = state.num_machines
+
+        view_union = _gather_groups(tables, sv_union)
+        position_of = np.full(n, -1, dtype=np.int64)
+        position_of[sv_union] = np.arange(sv_union.size, dtype=np.int64)
+
+        sync_records = np.zeros((num_machines, num_machines), dtype=np.int64)
+        repair_records = np.zeros((num_machines, num_machines), dtype=np.int64)
+        frog_records = np.zeros((num_machines, num_machines), dtype=np.int64)
+        scatter_ops = np.zeros(num_machines, dtype=np.int64)
+
+        for lane, _ in live:
+            next_frogs = np.zeros(n, dtype=np.int64)
+            sv, k_sv = lane.sv, lane.k_sv
+            lane.sv = lane.k_sv = None
+            if sv.size == 0:
+                lane.frogs = next_frogs
+                continue
+            member_rows = position_of[sv]
+            if member_rows.size == sv_union.size:
+                view = view_union
+            else:
+                member_mask = np.zeros(sv_union.size, dtype=bool)
+                member_mask[member_rows] = True
+                view = view_union.select(member_rows, member_mask)
+
+            # -------- <sync>: this population's ps coins ---------------
+            fresh, synced = lane.synchronizer.draw_fresh(sv)
+            records = sync_pair_records(masters[sv], synced, num_machines)
+            sync_records += records
+            lane.ledger.charge_pair_records(records)
+            lane.ledger.charge_ops(int(records.sum()))
+
+            enabled_grp = fresh[view.grp_vertex_pos, view.grp_machine]
+            enabled_per_vertex = np.bincount(
+                view.grp_vertex_pos, weights=enabled_grp, minlength=sv.size
+            ).astype(np.int64)
+            stranded = enabled_per_vertex == 0
+            if stranded.any():
+                if self.erasure.repairs_empty:
+                    bad = np.flatnonzero(stranded)
+                    flat_pos = _choose_repair_positions(
+                        lane.rng, view.g_count, bad
+                    )
+                    enabled_grp = enabled_grp.copy()
+                    enabled_grp[flat_pos] = True
+                    machines = view.grp_machine[flat_pos]
+                    sources = masters[sv[bad]].astype(np.int64)
+                    remote = machines != sources
+                    if remote.any():
+                        extra = np.bincount(
+                            sources[remote] * num_machines + machines[remote],
+                            minlength=num_machines**2,
+                        ).reshape(num_machines, num_machines)
+                        repair_records += extra
+                        lane.ledger.charge_pair_records(extra)
+                        lane.ledger.charge_ops(int(extra.sum()))
+                else:
+                    np.add.at(next_frogs, sv[stranded], k_sv[stranded])
+                    k_sv = k_sv.copy()
+                    k_sv[stranded] = 0
+
+            # -------- scatter(): this population's hops ----------------
+            if cfg.scatter_mode == "multinomial":
+                dest, host = _scatter_multinomial(
+                    lane.rng, tables, view, enabled_grp, sv, k_sv, next_frogs
+                )
+            else:
+                dest, host = _scatter_binomial(
+                    lane.rng, lane.ps, tables, view, enabled_grp, sv, k_sv,
+                    next_frogs,
+                )
+            if dest.size:
+                ops = np.bincount(host, minlength=num_machines)
+            else:
+                ops = np.zeros(num_machines, dtype=np.int64)
+            ops += np.bincount(
+                view.grp_machine[enabled_grp], minlength=num_machines
+            )
+            scatter_ops += ops.astype(np.int64)
+            lane.ledger.charge_ops(int(ops.sum()))
+
+            if dest.size:
+                pair_keys = np.unique(host * n + dest)
+                host_unique = pair_keys // n
+                dest_master = masters[pair_keys % n].astype(np.int64)
+                remote = host_unique != dest_master
+                if remote.any():
+                    records = np.bincount(
+                        host_unique[remote] * num_machines
+                        + dest_master[remote],
+                        minlength=num_machines**2,
+                    ).reshape(num_machines, num_machines)
+                    frog_records += records
+                    lane.ledger.charge_pair_records(records)
+            lane.frogs = next_frogs
+
+        # -------- physical flush: whole batch, once per round ----------
+        if sync_records.any():
+            state.send_pair_matrix(sync_records, kind="sync")
+            state.charge_many(sync_records.sum(axis=0), phase="sync")
+        if repair_records.any():
+            state.send_pair_matrix(repair_records, kind="sync")
+            state.charge_many(repair_records.sum(axis=0), phase="sync")
+        state.charge_many(scatter_ops, phase="scatter")
+        if frog_records.any():
+            state.send_pair_matrix(frog_records, kind="scatter")
+
+    # ------------------------------------------------------------------
+    def _lane_report(self, lane: _Lane) -> RunReport:
+        state = self.state
+        cfg = self.config
+        steps = lane.ledger.supersteps
+        # Simulated time while this population was live: a lane that
+        # died out early stops accumulating, so its per-iteration time
+        # stays honest even inside a longer-running batch.
+        total_time = lane.sim_time_s
+        return RunReport(
+            algorithm=f"frogwild-batched(ps={lane.ps:g})",
+            num_machines=state.num_machines,
+            supersteps=steps,
+            total_time_s=total_time,
+            time_per_iteration_s=total_time / steps if steps else 0.0,
+            network_bytes=lane.ledger.standalone_network_bytes(),
+            cpu_seconds=state.cost_model.cpu_seconds(lane.ledger.cpu_ops),
+            extra={
+                "num_frogs": float(lane.num_frogs),
+                "iterations": float(cfg.iterations),
+                "ps": float(lane.ps),
+                "replication_factor": state.replication.replication_factor(),
+                "batch_index": float(lane.index),
+                "batch_size": float(len(self.lanes)),
+            },
+        )
+
+    def _batch_report(self) -> RunReport:
+        state = self.state
+        stats = state.stats
+        cfg = self.config
+        attributed = sum(
+            lane.ledger.standalone_network_bytes() for lane in self.lanes
+        )
+        return RunReport(
+            algorithm=(
+                f"frogwild-batched(B={len(self.lanes)},ps={cfg.ps:g})"
+            ),
+            num_machines=state.num_machines,
+            supersteps=stats.num_supersteps,
+            total_time_s=stats.total_seconds(),
+            time_per_iteration_s=stats.seconds_per_step(),
+            network_bytes=state.fabric.total_bytes(),
+            cpu_seconds=state.cost_model.cpu_seconds(stats.total_cpu_ops()),
+            extra={
+                "batch_size": float(len(self.lanes)),
+                "total_frogs": float(
+                    sum(lane.num_frogs for lane in self.lanes)
+                ),
+                "attributed_network_bytes": float(attributed),
+                "ps": float(cfg.ps),
+                "replication_factor": state.replication.replication_factor(),
+            },
+        )
+
+
+def run_frogwild_batch(
+    graph: DiGraph,
+    queries: Sequence[BatchQuery],
+    config: FrogWildConfig | None = None,
+    num_machines: int = 16,
+    partitioner: str = "random",
+    cost_model: CostModel | None = None,
+    size_model: MessageSizeModel | None = None,
+    partition: EdgePartition | None = None,
+    state: ClusterState | None = None,
+) -> BatchedFrogWildResult:
+    """Run a batch of FrogWild queries through one shared traversal.
+
+    Mirrors :func:`repro.core.run_frogwild`: pass a prebuilt ``state``
+    to reuse an ingress across batches (the serving layer does), or let
+    this build one.
+    """
+    config = config or FrogWildConfig()
+    if state is None:
+        state = build_cluster(
+            graph,
+            num_machines,
+            partitioner=partitioner,
+            cost_model=cost_model,
+            size_model=size_model,
+            seed=config.seed,
+            partition=partition,
+        )
+    return BatchedFrogWildRunner(state, config, queries).run()

@@ -86,6 +86,12 @@ class PageRankEstimate:
         """Vertex ids of the estimated top-k, by decreasing count."""
         return top_k_indices(self._counts, k)
 
+    def top_k_with_scores(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(vertex ids, pi_hat scores)`` of the top-k, by decreasing
+        count — the serving layer's answer payload."""
+        top = top_k_indices(self._counts, k)
+        return top, self._counts[top] / self._num_frogs
+
     def standard_errors(self) -> np.ndarray:
         """Per-vertex binomial standard error of pi_hat.
 

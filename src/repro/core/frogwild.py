@@ -23,6 +23,13 @@ Implementation notes mirrored from the paper (Section 3.3):
   split uniformly over enabled edges (frog-conserving, the paper's
   actual implementation); ``binomial`` mode follows the pseudocode
   literally with an independent Bin(K, 1/(d_out ps)) per enabled edge.
+
+The superstep kernel is factored into module-level helpers
+(:class:`_KernelTables`, :class:`_GroupView` and the ``_scatter_*``
+functions) shared with :mod:`repro.core.batched`, which advances B
+independent frog populations through a single traversal per superstep.
+Edge-level work is expanded for *enabled* machine-groups only, so a run
+at ``ps < 1`` never materializes the disabled part of the frontier.
 """
 
 from __future__ import annotations
@@ -60,6 +67,183 @@ def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return (
         np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
     )
+
+
+class _KernelTables:
+    """Flat read-only views of the partitioned graph used per superstep.
+
+    Built once per :class:`ClusterState` and shared by the single-query
+    and batched runners; every array indexes the (vertex, machine)-sorted
+    out-edge grouping of :class:`~repro.cluster.ReplicationTable`.
+    """
+
+    __slots__ = (
+        "masters",
+        "vertex_ptr",
+        "group_machine",
+        "group_start",
+        "group_sizes",
+        "edge_target",
+        "edge_host",
+        "out_degree",
+    )
+
+    def __init__(self, state: ClusterState) -> None:
+        repl = state.replication
+        og = repl.out_groups
+        self.masters = repl.masters
+        self.vertex_ptr = og.vertex_ptr
+        self.group_machine = og.group_machine.astype(np.int64)
+        self.group_start = og.group_start
+        self.group_sizes = og.group_sizes()
+        self.edge_target = og.sorted_other
+        self.edge_host = og.edge_machine_sorted.astype(np.int64)
+        self.out_degree = np.asarray(state.graph.out_degree(), dtype=np.int64)
+
+
+class _GroupView:
+    """Machine-grouped out-edges of one scatter set, in (vertex, machine)
+    order.
+
+    ``grp_idx`` are rows into the global group tables; ``grp_vertex_pos``
+    maps each row to the position of its vertex within the scatter set;
+    ``g_count`` is the number of groups per scattering vertex.
+    """
+
+    __slots__ = ("grp_idx", "grp_vertex_pos", "grp_machine", "grp_sizes", "g_count")
+
+    def __init__(
+        self,
+        grp_idx: np.ndarray,
+        grp_vertex_pos: np.ndarray,
+        grp_machine: np.ndarray,
+        grp_sizes: np.ndarray,
+        g_count: np.ndarray,
+    ) -> None:
+        self.grp_idx = grp_idx
+        self.grp_vertex_pos = grp_vertex_pos
+        self.grp_machine = grp_machine
+        self.grp_sizes = grp_sizes
+        self.g_count = g_count
+
+    def select(self, member_rows: np.ndarray, member_mask: np.ndarray) -> "_GroupView":
+        """Sub-view for the subset of vertices at ``member_rows``.
+
+        ``member_rows`` are sorted positions into this view's scatter
+        set and ``member_mask`` is their boolean form; the result is
+        exactly the view :func:`_gather_groups` would build for the
+        subset, without re-touching the global tables.
+        """
+        sel = member_mask[self.grp_vertex_pos]
+        g_count = self.g_count[member_rows]
+        return _GroupView(
+            self.grp_idx[sel],
+            np.repeat(np.arange(member_rows.size, dtype=np.int64), g_count),
+            self.grp_machine[sel],
+            self.grp_sizes[sel],
+            g_count,
+        )
+
+
+def _gather_groups(tables: _KernelTables, sv: np.ndarray) -> _GroupView:
+    """Gather the machine-groups of the scattering vertices ``sv``."""
+    g_lo = tables.vertex_ptr[sv]
+    g_count = tables.vertex_ptr[sv + 1] - g_lo
+    grp_idx = _ranges_to_indices(g_lo, g_count)
+    grp_vertex_pos = np.repeat(np.arange(sv.size, dtype=np.int64), g_count)
+    return _GroupView(
+        grp_idx,
+        grp_vertex_pos,
+        tables.group_machine[grp_idx],
+        tables.group_sizes[grp_idx],
+        g_count,
+    )
+
+
+def _choose_repair_positions(
+    rng: np.random.Generator, g_count: np.ndarray, bad: np.ndarray
+) -> np.ndarray:
+    """Flat group-row positions of one uniform group per ``bad`` vertex.
+
+    Implements the choice half of the At-Least-One-Out-Edge repair
+    (Example 10); the caller enables the rows and accounts the forced
+    synchronizations.
+    """
+    pick = (rng.random(bad.size) * g_count[bad]).astype(np.int64)
+    block_offsets = np.concatenate([[0], np.cumsum(g_count)[:-1]])
+    return block_offsets[bad] + pick
+
+
+def _scatter_multinomial(
+    rng: np.random.Generator,
+    tables: _KernelTables,
+    view: _GroupView,
+    enabled_grp: np.ndarray,
+    sv: np.ndarray,
+    k_sv: np.ndarray,
+    next_frogs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split each vertex's K frogs uniformly over its enabled edges."""
+    enabled_counts = np.bincount(
+        view.grp_vertex_pos,
+        weights=enabled_grp * view.grp_sizes,
+        minlength=sv.size,
+    ).astype(np.int64)
+    sendable = enabled_counts > 0
+    k_send = np.where(sendable, k_sv, 0)
+    total = int(k_send.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    enabled_edges = _ranges_to_indices(
+        tables.group_start[view.grp_idx[enabled_grp]],
+        view.grp_sizes[enabled_grp],
+    )
+    enabled_offsets = np.concatenate([[0], np.cumsum(enabled_counts)[:-1]])
+    frog_vertex = np.repeat(np.arange(sv.size, dtype=np.int64), k_send)
+    draw = rng.random(total)
+    pick = enabled_offsets[frog_vertex] + (
+        draw * enabled_counts[frog_vertex]
+    ).astype(np.int64)
+    chosen = enabled_edges[pick]
+    dest = tables.edge_target[chosen]
+    host = tables.edge_host[chosen]
+    np.add.at(next_frogs, dest, 1)
+    return dest, host
+
+
+def _scatter_binomial(
+    rng: np.random.Generator,
+    ps: float,
+    tables: _KernelTables,
+    view: _GroupView,
+    enabled_grp: np.ndarray,
+    sv: np.ndarray,
+    k_sv: np.ndarray,
+    next_frogs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Paper pseudocode: Bin(K, 1/(d_out ps)) per enabled edge."""
+    on = np.flatnonzero(enabled_grp)
+    if on.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    sizes_on = view.grp_sizes[on]
+    candidate = _ranges_to_indices(tables.group_start[view.grp_idx[on]], sizes_on)
+    vertex_pos = np.repeat(view.grp_vertex_pos[on], sizes_on)
+    k_per_edge = k_sv[vertex_pos]
+    p_eff = max(ps, 1e-12)
+    prob = np.minimum(
+        1.0, 1.0 / (tables.out_degree[sv[vertex_pos]] * p_eff)
+    )
+    sent = rng.binomial(k_per_edge, prob)
+    nonzero = sent > 0
+    chosen = candidate[nonzero]
+    dest = tables.edge_target[chosen]
+    host = tables.edge_host[chosen]
+    np.add.at(next_frogs, dest, sent[nonzero])
+    # Replicate per-frog host attribution for CPU/message accounting.
+    dest = np.repeat(dest, sent[nonzero])
+    host = np.repeat(host, sent[nonzero])
+    return dest, host
 
 
 class FrogWildRunner:
@@ -100,16 +284,8 @@ class FrogWildRunner:
         )
         self.synchronizer = MirrorSynchronizer(state, config.ps, self.rng)
         self.erasure = make_erasure_model(config.erasure_model)
-        repl = state.replication
-        og = repl.out_groups
-        self._masters = repl.masters
-        self._vertex_ptr = og.vertex_ptr
-        self._group_machine = og.group_machine.astype(np.int64)
-        self._group_start = og.group_start
-        self._group_sizes = og.group_sizes()
-        self._edge_target = og.sorted_other
-        self._edge_host = og.edge_machine_sorted.astype(np.int64)
-        self._out_degree = np.asarray(state.graph.out_degree(), dtype=np.int64)
+        self.tables = _KernelTables(state)
+        self._masters = self.tables.masters
 
     # ------------------------------------------------------------------
     def run(self) -> FrogWildResult:
@@ -152,6 +328,7 @@ class FrogWildRunner:
         cfg = self.config
         n = state.num_vertices
         rng = self.rng
+        tables = self.tables
 
         # -------------------- apply(): teleport deaths ------------------
         dead = rng.binomial(k_active, cfg.p_teleport)
@@ -177,23 +354,23 @@ class FrogWildRunner:
         fresh = self.synchronizer.synchronize(sv)
 
         # Enabled out-edge groups of the scattering vertices.
-        g_lo = self._vertex_ptr[sv]
-        g_count = self._vertex_ptr[sv + 1] - g_lo
-        grp_idx = _ranges_to_indices(g_lo, g_count)
-        grp_vertex_pos = np.repeat(
-            np.arange(sv.size, dtype=np.int64), g_count
-        )
-        grp_machine = self._group_machine[grp_idx]
-        enabled_grp = fresh[grp_vertex_pos, grp_machine]
+        view = _gather_groups(tables, sv)
+        enabled_grp = fresh[view.grp_vertex_pos, view.grp_machine]
 
         enabled_per_vertex = np.bincount(
-            grp_vertex_pos, weights=enabled_grp, minlength=sv.size
+            view.grp_vertex_pos, weights=enabled_grp, minlength=sv.size
         ).astype(np.int64)
         stranded = enabled_per_vertex == 0
         if stranded.any():
             if self.erasure.repairs_empty:
-                enabled_grp = self._repair_stranded(
-                    sv, g_lo, g_count, grp_idx, enabled_grp, stranded
+                # At-Least-One-Out-Edge repair (Example 10): enable one
+                # uniform group each and force its synchronization.
+                bad = np.flatnonzero(stranded)
+                flat_pos = _choose_repair_positions(rng, view.g_count, bad)
+                enabled_grp = enabled_grp.copy()
+                enabled_grp[flat_pos] = True
+                self.synchronizer.force_sync(
+                    sv[bad], view.grp_machine[flat_pos]
                 )
             else:
                 # Independent erasures: frogs idle in place this step.
@@ -202,18 +379,13 @@ class FrogWildRunner:
                 k_sv[stranded] = 0
 
         # -------------------- scatter(): frog hops ----------------------
-        grp_sizes = self._group_sizes[grp_idx]
-        edge_idx = _ranges_to_indices(self._group_start[grp_idx], grp_sizes)
-        edge_enabled = np.repeat(enabled_grp, grp_sizes)
-        edge_vertex_pos = np.repeat(grp_vertex_pos, grp_sizes)
-
         if cfg.scatter_mode == "multinomial":
-            dest, host = self._scatter_multinomial(
-                sv, k_sv, edge_idx, edge_enabled, edge_vertex_pos, next_frogs
+            dest, host = _scatter_multinomial(
+                rng, tables, view, enabled_grp, sv, k_sv, next_frogs
             )
         else:
-            dest, host = self._scatter_binomial(
-                sv, k_sv, edge_idx, edge_enabled, edge_vertex_pos, next_frogs
+            dest, host = _scatter_binomial(
+                rng, cfg.ps, tables, view, enabled_grp, sv, k_sv, next_frogs
             )
 
         # CPU: one op per hopped frog on the hosting machine, one per
@@ -223,7 +395,7 @@ class FrogWildRunner:
         else:
             ops = np.zeros(state.num_machines, dtype=np.int64)
         ops += np.bincount(
-            grp_machine[enabled_grp], minlength=state.num_machines
+            view.grp_machine[enabled_grp], minlength=state.num_machines
         )
         state.charge_many(ops.astype(np.int64), phase="scatter")
 
@@ -250,91 +422,6 @@ class FrogWildRunner:
         base runner delivers everything: no-op."""
 
     # ------------------------------------------------------------------
-    def _repair_stranded(
-        self,
-        sv: np.ndarray,
-        g_lo: np.ndarray,
-        g_count: np.ndarray,
-        grp_idx: np.ndarray,
-        enabled_grp: np.ndarray,
-        stranded: np.ndarray,
-    ) -> np.ndarray:
-        """At-Least-One-Out-Edge repair: enable one uniform group each."""
-        bad = np.flatnonzero(stranded)
-        pick = (self.rng.random(bad.size) * g_count[bad]).astype(np.int64)
-        # Flat position of each vertex's group block within grp_idx.
-        block_offsets = np.concatenate([[0], np.cumsum(g_count)[:-1]])
-        flat_pos = block_offsets[bad] + pick
-        enabled_grp = enabled_grp.copy()
-        enabled_grp[flat_pos] = True
-        self.synchronizer.force_sync(
-            sv[bad], self._group_machine[grp_idx[flat_pos]]
-        )
-        return enabled_grp
-
-    def _scatter_multinomial(
-        self,
-        sv: np.ndarray,
-        k_sv: np.ndarray,
-        edge_idx: np.ndarray,
-        edge_enabled: np.ndarray,
-        edge_vertex_pos: np.ndarray,
-        next_frogs: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Split each vertex's K frogs uniformly over its enabled edges."""
-        enabled_counts = np.bincount(
-            edge_vertex_pos, weights=edge_enabled, minlength=sv.size
-        ).astype(np.int64)
-        sendable = enabled_counts > 0
-        k_send = np.where(sendable, k_sv, 0)
-        total = int(k_send.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-
-        enabled_edges = edge_idx[edge_enabled]
-        enabled_offsets = np.concatenate([[0], np.cumsum(enabled_counts)[:-1]])
-        frog_vertex = np.repeat(np.arange(sv.size, dtype=np.int64), k_send)
-        draw = self.rng.random(total)
-        pick = enabled_offsets[frog_vertex] + (
-            draw * enabled_counts[frog_vertex]
-        ).astype(np.int64)
-        chosen = enabled_edges[pick]
-        dest = self._edge_target[chosen]
-        host = self._edge_host[chosen]
-        np.add.at(next_frogs, dest, 1)
-        return dest, host
-
-    def _scatter_binomial(
-        self,
-        sv: np.ndarray,
-        k_sv: np.ndarray,
-        edge_idx: np.ndarray,
-        edge_enabled: np.ndarray,
-        edge_vertex_pos: np.ndarray,
-        next_frogs: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Paper pseudocode: Bin(K, 1/(d_out ps)) per enabled edge."""
-        cfg = self.config
-        on = np.flatnonzero(edge_enabled)
-        if on.size == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        vertex_pos = edge_vertex_pos[on]
-        k_per_edge = k_sv[vertex_pos]
-        p_eff = max(cfg.ps, 1e-12)
-        prob = np.minimum(
-            1.0, 1.0 / (self._out_degree[sv[vertex_pos]] * p_eff)
-        )
-        sent = self.rng.binomial(k_per_edge, prob)
-        nonzero = sent > 0
-        chosen = edge_idx[on[nonzero]]
-        dest = self._edge_target[chosen]
-        host = self._edge_host[chosen]
-        np.add.at(next_frogs, dest, sent[nonzero])
-        # Replicate per-frog host attribution for CPU/message accounting.
-        dest = np.repeat(dest, sent[nonzero])
-        host = np.repeat(host, sent[nonzero])
-        return dest, host
-
     def _account_frog_messages(self, dest: np.ndarray, host: np.ndarray) -> None:
         """Charge combined frog records: hosting machine -> dest master."""
         if dest.size == 0:

@@ -14,16 +14,23 @@ counterpart lives in :func:`repro.pagerank.exact_pagerank` via its
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..cluster import CostModel, MessageSizeModel
 from ..engine import ClusterState, build_cluster
 from ..errors import ConfigError
 from ..graph import DiGraph
+from .batched import BatchedFrogWildResult, BatchQuery, run_frogwild_batch
 from .config import FrogWildConfig
 from .frogwild import FrogWildResult, FrogWildRunner
 
-__all__ = ["seed_distribution", "run_personalized_frogwild"]
+__all__ = [
+    "seed_distribution",
+    "run_personalized_frogwild",
+    "run_personalized_frogwild_batch",
+]
 
 
 def seed_distribution(
@@ -86,3 +93,52 @@ def run_personalized_frogwild(
         )
     runner = FrogWildRunner(state, config, start_distribution=distribution)
     return runner.run()
+
+
+def run_personalized_frogwild_batch(
+    graph: DiGraph,
+    seed_sets: Sequence[np.ndarray],
+    config: FrogWildConfig | None = None,
+    weights: Sequence[np.ndarray | None] | None = None,
+    num_machines: int = 16,
+    partitioner: str = "random",
+    cost_model: CostModel | None = None,
+    size_model: MessageSizeModel | None = None,
+    state: ClusterState | None = None,
+) -> BatchedFrogWildResult:
+    """Answer B personalized top-k queries through one shared traversal.
+
+    Each entry of ``seed_sets`` becomes one frog population whose birth
+    law is :func:`seed_distribution` of that seed set — by Lemma 16, the
+    population samples that PPR vector — and all B populations advance
+    together in a :class:`~repro.core.batched.BatchedFrogWildRunner`.
+    ``weights`` optionally aligns per-query restart weights with
+    ``seed_sets``.  Results come back in query order with per-query cost
+    attribution; a single-element batch is bit-identical to
+    :func:`run_personalized_frogwild`.
+    """
+    if not len(seed_sets):
+        raise ConfigError("seed_sets must be non-empty")
+    if weights is not None and len(weights) != len(seed_sets):
+        raise ConfigError("weights must align with seed_sets")
+    config = config or FrogWildConfig()
+    queries = [
+        BatchQuery(
+            start_distribution=seed_distribution(
+                graph.num_vertices,
+                seeds,
+                None if weights is None else weights[index],
+            )
+        )
+        for index, seeds in enumerate(seed_sets)
+    ]
+    return run_frogwild_batch(
+        graph,
+        queries,
+        config,
+        num_machines=num_machines,
+        partitioner=partitioner,
+        cost_model=cost_model,
+        size_model=size_model,
+        state=state,
+    )

@@ -5,8 +5,8 @@ from .breakdown import PhaseBreakdown, traffic_breakdown
 from .bsp import BSPEngine
 from .program import ApplyResult, BulkVertexProgram
 from .state import ClusterState, build_cluster
-from .stats import EngineStats, RunReport, StepRecord
-from .sync import MirrorSynchronizer
+from .stats import CostLedger, EngineStats, RunReport, StepRecord
+from .sync import MirrorSynchronizer, sync_pair_records
 
 __all__ = [
     "ApplyResult",
@@ -16,10 +16,12 @@ __all__ = [
     "AsyncEngine",
     "ClusterState",
     "build_cluster",
+    "CostLedger",
     "EngineStats",
     "RunReport",
     "StepRecord",
     "MirrorSynchronizer",
+    "sync_pair_records",
     "PhaseBreakdown",
     "traffic_breakdown",
 ]

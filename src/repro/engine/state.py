@@ -135,20 +135,37 @@ def build_cluster(
     size_model: MessageSizeModel | None = None,
     seed: int | None = 0,
     partition: EdgePartition | None = None,
+    replication: ReplicationTable | None = None,
 ) -> ClusterState:
     """Construct a ready-to-run simulated cluster for ``graph``.
 
     ``partition`` may be supplied to reuse an ingress across runs (the
-    paper excludes ingress from all measurements, and so do we).
+    paper excludes ingress from all measurements, and so do we);
+    ``replication`` additionally reuses the derived master/mirror tables
+    — the serving layer's per-batch states share one such ingress while
+    keeping fresh traffic/CPU/time accounting per batch.
     """
-    if partition is None:
-        partition = make_partitioner(partitioner, seed).partition(graph, num_machines)
-    elif partition.num_machines != num_machines:
-        raise EngineError(
-            f"supplied partition targets {partition.num_machines} machines, "
-            f"requested {num_machines}"
-        )
-    replication = ReplicationTable(graph, partition, seed=seed)
+    if replication is not None:
+        if replication.num_machines != num_machines:
+            raise EngineError(
+                f"supplied replication targets {replication.num_machines} "
+                f"machines, requested {num_machines}"
+            )
+        if replication.graph.num_vertices != graph.num_vertices:
+            raise EngineError(
+                "supplied replication was built for a different graph"
+            )
+    else:
+        if partition is None:
+            partition = make_partitioner(partitioner, seed).partition(
+                graph, num_machines
+            )
+        elif partition.num_machines != num_machines:
+            raise EngineError(
+                f"supplied partition targets {partition.num_machines} machines, "
+                f"requested {num_machines}"
+            )
+        replication = ReplicationTable(graph, partition, seed=seed)
     return ClusterState(
         graph=graph,
         replication=replication,

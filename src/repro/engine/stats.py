@@ -2,13 +2,17 @@
 
 These are the quantities the paper's figures plot: time per iteration
 (Fig. 1a), total time (1b), network bytes (1c) and CPU seconds (1d).
+:class:`CostLedger` additionally attributes shared-execution costs to
+the individual frog populations of a batched run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StepRecord", "EngineStats", "RunReport"]
+import numpy as np
+
+__all__ = ["StepRecord", "EngineStats", "RunReport", "CostLedger"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,46 @@ class EngineStats:
         if not self.steps:
             return 0.0
         return self.total_seconds() / len(self.steps)
+
+
+@dataclass
+class CostLedger:
+    """Per-population cost attribution inside a shared batched execution.
+
+    The batched FrogWild runner charges the *physical* cluster once per
+    superstep (summed over populations); each population additionally
+    tallies the CPU ops, network records and per-pair messages it alone
+    caused.  :meth:`standalone_network_bytes` prices those records as if
+    the population had run by itself — per-message headers included — so
+    ``sum(lane.standalone_network_bytes()) - fabric.total_bytes()`` is
+    exactly the header amortization the batch bought.
+    """
+
+    record_bytes: int
+    message_header_bytes: int
+    supersteps: int = 0
+    cpu_ops: int = 0
+    network_records: int = 0
+    network_messages: int = 0
+
+    def charge_ops(self, ops: int) -> None:
+        """Attribute ``ops`` units of CPU work to this population."""
+        self.cpu_ops += int(ops)
+
+    def charge_pair_records(self, records: np.ndarray) -> None:
+        """Attribute one machine-pair record matrix (diagonal is local,
+        hence free — mirroring :class:`~repro.cluster.NetworkFabric`)."""
+        off_diagonal = np.asarray(records).copy()
+        np.fill_diagonal(off_diagonal, 0)
+        self.network_records += int(off_diagonal.sum())
+        self.network_messages += int(np.count_nonzero(off_diagonal))
+
+    def standalone_network_bytes(self) -> int:
+        """Wire bytes this population would have paid running alone."""
+        return (
+            self.message_header_bytes * self.network_messages
+            + self.record_bytes * self.network_records
+        )
 
 
 @dataclass(frozen=True)

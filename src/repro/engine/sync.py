@@ -12,6 +12,11 @@ cluster, accounting one sync record per synchronized mirror.  The
 returned coin matrix tells the caller (the FrogWild runner) which
 replicas may participate in scatter — the coupling that turns partial
 synchronization into the edge-erasure model of Definition 8.
+
+The coin draw and the accounting are separable (:meth:`draw_fresh`):
+the batched runner of :mod:`repro.core.batched` flips coins per frog
+population but aggregates the resulting sync records across the whole
+batch into one physical flush per barrier.
 """
 
 from __future__ import annotations
@@ -21,7 +26,26 @@ import numpy as np
 from ..errors import EngineError
 from .state import ClusterState
 
-__all__ = ["MirrorSynchronizer"]
+__all__ = ["MirrorSynchronizer", "sync_pair_records"]
+
+
+def sync_pair_records(
+    masters: np.ndarray, synced: np.ndarray, num_machines: int
+) -> np.ndarray:
+    """Master-to-mirror record counts as a machine-pair matrix.
+
+    ``masters[i]`` is the master machine of the i-th vertex and
+    ``synced[i, p]`` marks machine ``p`` receiving a sync record for it;
+    the result's ``[s, d]`` entry counts records sent from ``s`` to ``d``.
+    """
+    rows, cols = np.nonzero(synced)
+    if rows.size == 0:
+        return np.zeros((num_machines, num_machines), dtype=np.int64)
+    masters = np.asarray(masters, dtype=np.int64)
+    return np.bincount(
+        masters[rows] * num_machines + cols,
+        minlength=num_machines**2,
+    ).reshape(num_machines, num_machines)
 
 
 class MirrorSynchronizer:
@@ -35,10 +59,22 @@ class MirrorSynchronizer:
         Probability of synchronizing each mirror (paper's ``ps``).
     rng:
         Source of the per-mirror coins.
+    mirror_matrix:
+        Optional prebuilt mirror bitmap (from :meth:`build_mirror_matrix`)
+        shared across synchronizers running on the same cluster — the
+        batched runner creates one synchronizer per frog population and
+        the bitmap is the only per-instance O(n·machines) state.  Sharers
+        observe each other's :meth:`disable_machine` calls, which is the
+        physically correct coupling (a crashed machine is crashed for
+        every population).
     """
 
     def __init__(
-        self, state: ClusterState, ps: float, rng: np.random.Generator
+        self,
+        state: ClusterState,
+        ps: float,
+        rng: np.random.Generator,
+        mirror_matrix: np.ndarray | None = None,
     ) -> None:
         if not 0.0 <= ps <= 1.0:
             raise EngineError(f"ps must lie in [0, 1], got {ps}")
@@ -49,20 +85,39 @@ class MirrorSynchronizer:
         self._masters = repl.masters
         self._replicas = repl.replica_matrix
         num_machines = state.num_machines
+        if mirror_matrix is None:
+            mirror_matrix = self.build_mirror_matrix(state)
+        elif mirror_matrix.shape != repl.replica_matrix.shape:
+            raise EngineError(
+                "mirror_matrix shape does not match the cluster's "
+                f"replica table: {mirror_matrix.shape} vs "
+                f"{repl.replica_matrix.shape}"
+            )
         # mirror_matrix[v, p]: machine p holds a *mirror* (non-master
         # replica) of vertex v.
-        self._mirror_matrix = repl.replica_matrix.copy()
-        self._mirror_matrix[np.arange(repl.masters.size), repl.masters] = False
+        self._mirror_matrix = mirror_matrix
         self._num_machines = num_machines
 
-    def synchronize(self, vertices: np.ndarray) -> np.ndarray:
-        """Synchronize the mirrors of ``vertices``; returns fresh-replica map.
+    @staticmethod
+    def build_mirror_matrix(state: ClusterState) -> np.ndarray:
+        """Mirror bitmap of the cluster: replicas minus masters."""
+        repl = state.replication
+        matrix = repl.replica_matrix.copy()
+        matrix[np.arange(repl.masters.size), repl.masters] = False
+        return matrix
 
-        The result is a boolean matrix of shape ``(len(vertices),
-        num_machines)`` marking machines whose replica of the vertex is
-        fresh after the barrier: the master always, each mirror with
-        probability ``ps``.  One sync record per synchronized mirror is
-        charged to the network, batched per machine pair.
+    def draw_fresh(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flip the sync coins for ``vertices`` without any accounting.
+
+        Returns ``(fresh, synced_mirrors)``: ``fresh`` marks machines
+        whose replica is fresh after the barrier (master always, each
+        mirror with probability ``ps``); ``synced_mirrors`` is the
+        mirror-only subset that a caller must account for (one sync
+        record each).  :meth:`synchronize` is this plus the accounting;
+        the batched runner uses the split to aggregate records across
+        populations before charging the fabric.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         k = vertices.size
@@ -75,10 +130,23 @@ class MirrorSynchronizer:
             coins = self.rng.random((k, self._num_machines)) < self.ps
             synced_mirrors = mirrors & coins
 
-        self._account(vertices, synced_mirrors)
         fresh = synced_mirrors.copy()
         if k:
             fresh[np.arange(k), self._masters[vertices]] = True
+        return fresh, synced_mirrors
+
+    def synchronize(self, vertices: np.ndarray) -> np.ndarray:
+        """Synchronize the mirrors of ``vertices``; returns fresh-replica map.
+
+        The result is a boolean matrix of shape ``(len(vertices),
+        num_machines)`` marking machines whose replica of the vertex is
+        fresh after the barrier: the master always, each mirror with
+        probability ``ps``.  One sync record per synchronized mirror is
+        charged to the network, batched per machine pair.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        fresh, synced_mirrors = self.draw_fresh(vertices)
+        self._account(vertices, synced_mirrors)
         return fresh
 
     def disable_machine(self, machine: int) -> None:
@@ -118,14 +186,8 @@ class MirrorSynchronizer:
         if vertices.size == 0 or not synced.any():
             return
         state = self.state
-        num_machines = self._num_machines
-        records = np.zeros((num_machines, num_machines), dtype=np.int64)
-        masters = self._masters[vertices]
-        for mirror in range(num_machines):
-            rows = synced[:, mirror]
-            if rows.any():
-                records[:, mirror] += np.bincount(
-                    masters[rows], minlength=num_machines
-                )
+        records = sync_pair_records(
+            self._masters[vertices], synced, self._num_machines
+        )
         state.send_pair_matrix(records, kind="sync")
         state.charge_many(records.sum(axis=0), phase="sync")

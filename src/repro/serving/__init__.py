@@ -1,0 +1,44 @@
+"""Top-k ranking as a service: batching, caching, cost attribution.
+
+This package is the production face of the reproduction — the answer
+to "how does FrogWild serve heavy multi-user traffic?".  Its design
+rests on two facts from the paper:
+
+* **Lemma 16** (restart at the birth law): *any* birth distribution
+  turns the frog process into Personalized PageRank with that teleport
+  vector.  A user's top-k query is therefore nothing but a frog
+  population with a personalized start law — and B concurrent queries
+  are B populations that can ride **one** traversal of the partitioned
+  graph (:class:`~repro.core.batched.BatchedFrogWildRunner`), paying
+  the topology gather, the BSP barriers and the per-message wire
+  headers once per superstep instead of once per query.
+* **Definition 5 / Theorem 1** (the counter estimate): a completed
+  estimate is an immutable counter vector whose top-k answers any k
+  by prefix — ideal cache material.  The service keys its TTL/LRU
+  cache on ``(seeds, weights, config)`` so repeated queries cost zero
+  cluster work, with TTL bounding staleness on churning graphs.
+
+Module map: :mod:`~repro.serving.cache` (TTL/LRU store),
+:mod:`~repro.serving.batching` (query normalization and the
+config-pure coalescer), :mod:`~repro.serving.service` (the
+:class:`RankingService` façade tying cache → coalescer → batched
+runner together, with per-query cost attribution for honest metering).
+
+Benchmarked by ``benchmarks/bench_serving.py``; demonstrated end to
+end by ``examples/ranking_service.py`` and the ``repro serve-bench``
+CLI command.
+"""
+
+from .batching import QueryCoalescer, RankingQuery
+from .cache import CacheStats, TTLCache
+from .service import RankingAnswer, RankingService, ServiceStats
+
+__all__ = [
+    "CacheStats",
+    "TTLCache",
+    "QueryCoalescer",
+    "RankingQuery",
+    "RankingAnswer",
+    "RankingService",
+    "ServiceStats",
+]

@@ -1,0 +1,103 @@
+"""Query normalization and batch coalescing.
+
+A :class:`RankingQuery` is the service's wire format: seed vertices, an
+optional restart-weight vector, the wanted ``k`` and an optional
+config override.  The :class:`QueryCoalescer` groups pending queries
+into batches the batched runner can execute — with one hard rule:
+**mixed configs never share a batch**.  All populations of one
+:class:`~repro.core.batched.BatchedFrogWildRunner` share ``iterations``,
+``p_teleport``, ``scatter_mode`` and ``erasure_model``, so a query that
+overrides any of them must ride a different traversal; coalescing them
+anyway would silently change the semantics of its batchmates' answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..core import FrogWildConfig
+from ..errors import ConfigError
+
+__all__ = ["RankingQuery", "QueryCoalescer"]
+
+
+@dataclass(frozen=True)
+class RankingQuery:
+    """One personalized top-k request.
+
+    ``seeds`` are the teleport vertices (the walk restarts there, per
+    Lemma 16); ``weights`` optionally skews the restart law; ``k`` is
+    the answer length; ``config`` overrides the service default — a
+    query carrying its own config is never batched with queries of a
+    different one.
+    """
+
+    seeds: tuple[int, ...]
+    k: int = 10
+    weights: tuple[float, ...] | None = None
+    config: FrogWildConfig | None = None
+
+    def __post_init__(self) -> None:
+        seeds = tuple(int(s) for s in np.atleast_1d(np.asarray(self.seeds)))
+        if not seeds:
+            raise ConfigError("a ranking query needs at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise ConfigError("seed ids must be distinct")
+        if min(seeds) < 0:
+            raise ConfigError("seed ids must be non-negative")
+        object.__setattr__(self, "seeds", seeds)
+        if self.weights is not None:
+            weights = tuple(
+                float(w) for w in np.atleast_1d(np.asarray(self.weights))
+            )
+            if len(weights) != len(seeds):
+                raise ConfigError("weights must align with seeds")
+            object.__setattr__(self, "weights", weights)
+        if self.k < 1:
+            raise ConfigError("k must be positive")
+
+    def effective_config(self, default: FrogWildConfig) -> FrogWildConfig:
+        """The config this query actually runs under."""
+        return self.config if self.config is not None else default
+
+    def cache_key(self, default: FrogWildConfig) -> Hashable:
+        """Identity of this query's *estimate* (k excluded: any k is a
+        prefix of the same cached counter vector)."""
+        return (self.seeds, self.weights, self.effective_config(default))
+
+
+class QueryCoalescer:
+    """Groups pending queries into config-pure, size-bounded batches.
+
+    Queries accumulate via :meth:`add` and leave via :meth:`drain`,
+    which yields ``(config, queries)`` batches: FIFO within a config,
+    never mixing configs, never exceeding ``max_batch_size`` (the
+    batched runner's sweet spot — beyond it per-population work
+    dominates and latency grows without amortization gains).
+    """
+
+    def __init__(self, max_batch_size: int = 16) -> None:
+        if max_batch_size < 1:
+            raise ConfigError("max_batch_size must be positive")
+        self.max_batch_size = max_batch_size
+        self._pending: dict[FrogWildConfig, list[RankingQuery]] = {}
+
+    def add(self, query: RankingQuery, default: FrogWildConfig) -> None:
+        """Enqueue one query under its effective config."""
+        config = query.effective_config(default)
+        self._pending.setdefault(config, []).append(query)
+
+    def pending_count(self) -> int:
+        return sum(len(queries) for queries in self._pending.values())
+
+    def drain(self) -> list[tuple[FrogWildConfig, list[RankingQuery]]]:
+        """Empty the queue as a list of ready-to-run batches."""
+        batches: list[tuple[FrogWildConfig, list[RankingQuery]]] = []
+        for config, queries in self._pending.items():
+            for lo in range(0, len(queries), self.max_batch_size):
+                batches.append((config, queries[lo:lo + self.max_batch_size]))
+        self._pending.clear()
+        return batches

@@ -1,0 +1,287 @@
+"""The ranking service: cached, coalesced, batched top-k PageRank.
+
+:class:`RankingService` is the façade production callers talk to.  One
+instance owns a graph and a partitioned ingress (built once — the paper
+excludes ingress from measurements and so does every repeated-run
+harness in this repository); each request flows through three stages:
+
+1. **cache** — estimates are immutable, so identical queries (same
+   seeds, weights and config) are served from the TTL/LRU cache without
+   touching the cluster;
+2. **coalescing** — cache misses are grouped into config-pure batches
+   of at most ``max_batch_size`` queries;
+3. **batched execution** — each batch runs as one
+   :class:`~repro.core.batched.BatchedFrogWildRunner` traversal on a
+   fresh :class:`~repro.engine.ClusterState` sharing the service's
+   replication tables, so per-batch traffic/CPU/time accounting stays
+   clean while ingress is never re-paid.
+
+Answers carry their per-query *attributed* costs (what the query alone
+caused inside its batch, standalone-priced) so callers can meter users
+honestly even though the wire cost was amortized.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cluster import CostModel, MessageSizeModel, ReplicationTable, make_partitioner
+from ..core import FrogWildConfig, run_personalized_frogwild_batch
+from ..engine import RunReport, build_cluster
+from ..errors import ConfigError
+from ..graph import DiGraph
+from .batching import QueryCoalescer, RankingQuery
+from .cache import TTLCache
+
+__all__ = ["RankingAnswer", "ServiceStats", "RankingService"]
+
+
+@dataclass(frozen=True)
+class RankingAnswer:
+    """One served top-k answer plus its provenance and attributed cost."""
+
+    query: RankingQuery
+    vertices: np.ndarray
+    scores: np.ndarray
+    cached: bool
+    batch_size: int
+    report: RunReport
+
+    @property
+    def network_bytes(self) -> int:
+        """Bytes attributed to this query (standalone-priced)."""
+        return self.report.network_bytes
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.report.cpu_seconds
+
+    @property
+    def simulated_time_s(self) -> float:
+        return self.report.total_time_s
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one :class:`RankingService`."""
+
+    queries_served: int = 0
+    queries_executed: int = 0
+    batches_run: int = 0
+    largest_batch: int = 0
+    frogs_launched: int = 0
+    attributed_network_bytes: int = 0
+    shared_network_bytes: int = 0
+    simulated_time_s: float = 0.0
+    batch_sizes: list[int] = field(default_factory=list)
+
+    def amortization_ratio(self) -> float:
+        """Actual wire bytes over standalone-priced bytes (<= 1)."""
+        if self.attributed_network_bytes == 0:
+            return 1.0
+        return self.shared_network_bytes / self.attributed_network_bytes
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "queries_served": float(self.queries_served),
+            "queries_executed": float(self.queries_executed),
+            "batches_run": float(self.batches_run),
+            "largest_batch": float(self.largest_batch),
+            "frogs_launched": float(self.frogs_launched),
+            "attributed_network_bytes": float(self.attributed_network_bytes),
+            "shared_network_bytes": float(self.shared_network_bytes),
+            "simulated_time_s": self.simulated_time_s,
+            "amortization_ratio": self.amortization_ratio(),
+        }
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """Cached outcome of one executed query (estimate + its report)."""
+
+    estimate: object
+    report: RunReport
+    batch_size: int
+
+
+class RankingService:
+    """Serves personalized top-k PageRank queries over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The served graph; ingress (partitioning + replication tables)
+        is paid once here.
+    config:
+        Default :class:`FrogWildConfig` for queries that don't override.
+    num_machines, partitioner, cost_model, size_model, seed:
+        Simulated-cluster construction, as everywhere in the repo.
+    max_batch_size:
+        Largest number of queries one batched traversal carries.
+    cache_capacity, cache_ttl_s:
+        TTL/LRU cache sizing; ``cache_capacity=0`` disables caching.
+    clock:
+        Injectable time source for the cache (tests use a fake).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: FrogWildConfig | None = None,
+        num_machines: int = 16,
+        partitioner: str = "random",
+        max_batch_size: int = 16,
+        cache_capacity: int = 256,
+        cache_ttl_s: float | None = None,
+        cost_model: CostModel | None = None,
+        size_model: MessageSizeModel | None = None,
+        seed: int | None = 0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise ConfigError("cannot serve an empty graph")
+        self.graph = graph
+        self.default_config = config or FrogWildConfig(seed=seed)
+        self.num_machines = num_machines
+        self.cost_model = cost_model
+        self.size_model = size_model
+        self.seed = seed
+        # Ingress: paid once per service, shared by every batch.
+        partition = make_partitioner(partitioner, seed).partition(
+            graph, num_machines
+        )
+        self.replication = ReplicationTable(graph, partition, seed=seed)
+        self.cache: TTLCache | None = (
+            TTLCache(cache_capacity, cache_ttl_s, clock or time.monotonic)
+            if cache_capacity > 0
+            else None
+        )
+        self.coalescer = QueryCoalescer(max_batch_size)
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        seeds: Sequence[int] | np.ndarray,
+        k: int = 10,
+        weights: Sequence[float] | np.ndarray | None = None,
+        config: FrogWildConfig | None = None,
+    ) -> RankingAnswer:
+        """Synchronous single-query API (a batch of one)."""
+        request = RankingQuery(
+            seeds=tuple(np.atleast_1d(np.asarray(seeds)).tolist()),
+            k=k,
+            weights=None if weights is None else tuple(
+                np.atleast_1d(np.asarray(weights)).tolist()
+            ),
+            config=config,
+        )
+        return self.query_batch([request])[0]
+
+    def query_batch(
+        self, queries: Sequence[RankingQuery]
+    ) -> list[RankingAnswer]:
+        """Serve many queries at once; answers come back in query order.
+
+        Cache hits are answered immediately; misses are coalesced into
+        config-pure batches (duplicates within the call collapse into
+        one population) and executed through shared traversals.
+        """
+        if not queries:
+            return []
+        default = self.default_config
+        # Validate the whole batch before touching cache or coalescer:
+        # one malformed query must fail the call atomically, not abort
+        # mid-drain with its batchmates' work half done.
+        num_vertices = self.graph.num_vertices
+        for query in queries:
+            if max(query.seeds) >= num_vertices:
+                raise ConfigError(
+                    f"seed ids out of range for a {num_vertices}-vertex "
+                    f"graph: {query.seeds}"
+                )
+        answers: list[RankingAnswer | None] = [None] * len(queries)
+        positions: dict[object, list[int]] = {}
+        for index, query in enumerate(queries):
+            key = query.cache_key(default)
+            entry = None if self.cache is None else self.cache.get(key)
+            if entry is not None:
+                answers[index] = self._answer(query, entry, cached=True)
+                continue
+            # First miss of a key enqueues it; duplicates just wait.
+            if key not in positions:
+                self.coalescer.add(query, default)
+            positions.setdefault(key, []).append(index)
+
+        for config, batch in self.coalescer.drain():
+            result = run_personalized_frogwild_batch(
+                self.graph,
+                [np.asarray(query.seeds, dtype=np.int64) for query in batch],
+                config,
+                weights=[
+                    None
+                    if query.weights is None
+                    else np.asarray(query.weights, dtype=np.float64)
+                    for query in batch
+                ],
+                state=self._fresh_state(),
+            )
+            self.stats.batches_run += 1
+            self.stats.batch_sizes.append(len(batch))
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            self.stats.queries_executed += len(batch)
+            self.stats.shared_network_bytes += result.report.network_bytes
+            self.stats.simulated_time_s += result.report.total_time_s
+            for query, lane in zip(batch, result.results):
+                entry = _CacheEntry(
+                    estimate=lane.estimate,
+                    report=lane.report,
+                    batch_size=len(batch),
+                )
+                self.stats.frogs_launched += lane.estimate.num_frogs
+                self.stats.attributed_network_bytes += lane.report.network_bytes
+                key = query.cache_key(default)
+                if self.cache is not None:
+                    self.cache.put(key, entry)
+                for index in positions[key]:
+                    answers[index] = self._answer(
+                        queries[index], entry, cached=False
+                    )
+
+        self.stats.queries_served += len(queries)
+        return answers  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _answer(
+        self, query: RankingQuery, entry: _CacheEntry, cached: bool
+    ) -> RankingAnswer:
+        vertices, scores = entry.estimate.top_k_with_scores(query.k)
+        return RankingAnswer(
+            query=query,
+            vertices=vertices,
+            scores=scores,
+            cached=cached,
+            batch_size=entry.batch_size,
+            report=entry.report,
+        )
+
+    def _fresh_state(self):
+        """A fresh accounting state over the shared ingress."""
+        return build_cluster(
+            self.graph,
+            self.num_machines,
+            cost_model=self.cost_model,
+            size_model=self.size_model,
+            seed=self.seed,
+            replication=self.replication,
+        )
+
+    def cache_stats(self) -> dict[str, float]:
+        """The cache's counters (empty dict when caching is disabled)."""
+        return {} if self.cache is None else self.cache.stats.as_dict()

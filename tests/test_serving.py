@@ -1,0 +1,258 @@
+"""Tests for the ranking service: cache, coalescing, cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrogWildConfig
+from repro.errors import ConfigError
+from repro.serving import (
+    QueryCoalescer,
+    RankingQuery,
+    RankingService,
+    TTLCache,
+)
+
+
+class FakeClock:
+    """Deterministic, manually advanced cache clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture(scope="module")
+def graph():
+    from repro.graph import twitter_like
+
+    return twitter_like(n=800, seed=9)
+
+
+def make_service(graph, **kwargs):
+    defaults = dict(
+        config=FrogWildConfig(num_frogs=1200, iterations=4, seed=0),
+        num_machines=4,
+        max_batch_size=4,
+    )
+    defaults.update(kwargs)
+    return RankingService(graph, **defaults)
+
+
+class TestTTLCache:
+    def test_hit_miss_and_lru_touch(self):
+        cache = TTLCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touches "a": "b" becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert cache.stats.hits == 3 and cache.stats.misses == 2
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = TTLCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("key", "value")
+        clock.advance(9.0)
+        assert cache.get("key") == "value"
+        clock.advance(2.0)
+        assert cache.get("key") is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_put_refreshes_age_and_recency(self):
+        clock = FakeClock()
+        cache = TTLCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("key", "old")
+        clock.advance(8.0)
+        cache.put("key", "new")
+        clock.advance(8.0)
+        assert cache.get("key") == "new"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TTLCache(capacity=0)
+        with pytest.raises(ConfigError):
+            TTLCache(ttl_s=0.0)
+
+
+class TestCoalescer:
+    def test_mixed_configs_never_share_a_batch(self):
+        default = FrogWildConfig(seed=0)
+        fast = FrogWildConfig(num_frogs=100, iterations=2, seed=0)
+        coalescer = QueryCoalescer(max_batch_size=8)
+        for vertex in range(3):
+            coalescer.add(RankingQuery(seeds=(vertex,)), default)
+        coalescer.add(RankingQuery(seeds=(9,), config=fast), default)
+        coalescer.add(RankingQuery(seeds=(10,), config=fast), default)
+        batches = coalescer.drain()
+        assert len(batches) == 2
+        by_config = {config: queries for config, queries in batches}
+        assert len(by_config[default]) == 3
+        assert len(by_config[fast]) == 2
+        assert coalescer.pending_count() == 0
+
+    def test_batches_respect_max_size_fifo(self):
+        default = FrogWildConfig(seed=0)
+        coalescer = QueryCoalescer(max_batch_size=4)
+        for vertex in range(10):
+            coalescer.add(RankingQuery(seeds=(vertex,)), default)
+        batches = coalescer.drain()
+        assert [len(queries) for _, queries in batches] == [4, 4, 2]
+        order = [q.seeds[0] for _, queries in batches for q in queries]
+        assert order == list(range(10))
+
+    def test_query_validation(self):
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=())
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(1,), k=0)
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(1, 2), weights=(1.0,))
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(3, 3))
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(-1,))
+
+    def test_cache_key_ignores_k_but_not_config(self):
+        default = FrogWildConfig(seed=0)
+        other = FrogWildConfig(num_frogs=123, seed=0)
+        q10 = RankingQuery(seeds=(1, 2), k=10)
+        q50 = RankingQuery(seeds=(1, 2), k=50)
+        assert q10.cache_key(default) == q50.cache_key(default)
+        assert q10.cache_key(default) != q10.cache_key(other)
+
+
+class TestRankingService:
+    def test_miss_then_hit_returns_identical_answer(self, graph):
+        service = make_service(graph)
+        first = service.query([5, 9], k=6)
+        second = service.query([5, 9], k=6)
+        assert not first.cached and second.cached
+        np.testing.assert_array_equal(first.vertices, second.vertices)
+        np.testing.assert_array_equal(first.scores, second.scores)
+        stats = service.cache_stats()
+        assert stats["hits"] == 1.0 and stats["misses"] == 1.0
+
+    def test_k_is_a_prefix_of_the_cached_estimate(self, graph):
+        service = make_service(graph)
+        wide = service.query([7], k=20)
+        narrow = service.query([7], k=5)
+        assert narrow.cached
+        np.testing.assert_array_equal(wide.vertices[:5], narrow.vertices)
+
+    def test_ttl_expiry_forces_reexecution(self, graph):
+        clock = FakeClock()
+        service = make_service(graph, cache_ttl_s=60.0, clock=clock)
+        service.query([3])
+        clock.advance(120.0)
+        answer = service.query([3])
+        assert not answer.cached
+        assert service.stats.queries_executed == 2
+
+    def test_lru_eviction_bounds_cache(self, graph):
+        service = make_service(graph, cache_capacity=2)
+        for vertex in (1, 2, 3):
+            service.query([vertex])
+        # vertex 1 was evicted; 3 is fresh.
+        assert service.query([3]).cached
+        assert not service.query([1]).cached
+        assert service.cache_stats()["evictions"] >= 1.0
+
+    def test_coalescing_splits_mixed_configs(self, graph):
+        service = make_service(graph)
+        fast = FrogWildConfig(num_frogs=400, iterations=2, seed=0)
+        queries = [RankingQuery(seeds=(v,)) for v in range(3)]
+        queries.append(RankingQuery(seeds=(3,), config=fast))
+        answers = service.query_batch(queries)
+        assert service.stats.batches_run == 2
+        assert sorted(service.stats.batch_sizes) == [1, 3]
+        assert answers[3].report.extra["num_frogs"] == 400.0
+        for answer in answers[:3]:
+            assert answer.batch_size == 3
+
+    def test_batches_respect_max_batch_size(self, graph):
+        service = make_service(graph, max_batch_size=3)
+        answers = service.query_batch(
+            [RankingQuery(seeds=(v,)) for v in range(7)]
+        )
+        assert service.stats.batch_sizes == [3, 3, 1]
+        assert all(answer is not None for answer in answers)
+
+    def test_duplicate_queries_collapse_into_one_population(self, graph):
+        service = make_service(graph)
+        answers = service.query_batch(
+            [RankingQuery(seeds=(5,)), RankingQuery(seeds=(5,), k=3)]
+        )
+        assert service.stats.queries_executed == 1
+        assert service.stats.queries_served == 2
+        np.testing.assert_array_equal(
+            answers[0].vertices[:3], answers[1].vertices
+        )
+
+    def test_cost_accounting_sums_across_batch(self, graph):
+        service = make_service(graph)
+        answers = service.query_batch(
+            [RankingQuery(seeds=(v,)) for v in range(4)]
+        )
+        attributed = sum(answer.network_bytes for answer in answers)
+        assert attributed == service.stats.attributed_network_bytes
+        # Shared wire bytes never exceed the standalone-priced total.
+        assert service.stats.shared_network_bytes <= attributed
+        assert 0.0 < service.stats.amortization_ratio() <= 1.0
+        total_cpu = sum(answer.cpu_seconds for answer in answers)
+        assert total_cpu > 0.0
+
+    def test_answers_in_query_order_with_personalized_mass(self, graph):
+        service = make_service(
+            graph,
+            config=FrogWildConfig(num_frogs=4000, iterations=6, seed=0),
+        )
+        answers = service.query_batch(
+            [RankingQuery(seeds=(2,), k=5), RankingQuery(seeds=(600,), k=5)]
+        )
+        assert answers[0].query.seeds == (2,)
+        assert answers[1].query.seeds == (600,)
+        # Frogs restart on the query's seeds, so the seed itself ranks.
+        assert 2 in answers[0].vertices.tolist()
+        assert 600 in answers[1].vertices.tolist()
+
+    def test_malformed_query_fails_atomically(self, graph):
+        """One out-of-range query rejects the whole call *before* any
+        execution — its batchmates' work is never half-done."""
+        service = make_service(graph)
+        with pytest.raises(ConfigError):
+            service.query_batch(
+                [
+                    RankingQuery(seeds=(1,)),
+                    RankingQuery(seeds=(graph.num_vertices + 5,)),
+                ]
+            )
+        assert service.stats.queries_executed == 0
+        assert service.stats.batches_run == 0
+        assert service.coalescer.pending_count() == 0
+        # The valid query was neither cached nor lost; a retry executes.
+        answer = service.query([1])
+        assert not answer.cached
+
+    def test_cache_disabled_service_always_executes(self, graph):
+        service = make_service(graph, cache_capacity=0)
+        service.query([4])
+        answer = service.query([4])
+        assert not answer.cached
+        assert service.stats.queries_executed == 2
+        assert service.cache_stats() == {}
+
+    def test_deterministic_across_service_instances(self, graph):
+        first = make_service(graph).query([8, 13], k=7)
+        second = make_service(graph).query([8, 13], k=7)
+        np.testing.assert_array_equal(first.vertices, second.vertices)
+        np.testing.assert_array_equal(first.scores, second.scores)
