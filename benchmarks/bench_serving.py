@@ -36,7 +36,7 @@ from repro.core import (
 from repro.cluster import ReplicationTable, make_partitioner
 from repro.engine import build_cluster
 from repro.graph import rmat
-from repro.serving import RankingQuery, RankingService
+from repro.serving import RankingQuery, RankingService, VirtualClock
 
 MACHINES = 16
 BATCH = 16
@@ -193,6 +193,44 @@ def test_batch_amortizes_simulated_network(workload):
         f"attributed {attributed:,} bytes "
         f"(amortization {batched.amortization_ratio():.3f})"
     )
+
+
+def test_trickle_workload_still_batches_under_deadline(workload):
+    """A trickle workload — one query per 1 ms tick — still forms
+    batches of >= 4 under a 5 ms deadline scheduler, driven entirely by
+    a virtual clock (no sleeps, no background thread)."""
+    graph, _, _, _ = workload
+    clock = VirtualClock()
+    service = RankingService(
+        graph,
+        CONFIG,
+        num_machines=MACHINES,
+        max_batch_size=BATCH,
+        max_delay_s=0.005,
+        clock=clock,
+    )
+    rng = np.random.default_rng(77)
+    futures = []
+    for _ in range(12):
+        seeds = rng.choice(graph.num_vertices, size=3, replace=False)
+        futures.append(service.submit(np.sort(seeds).tolist(), k=10))
+        clock.advance(0.001)
+        service.pump()
+    clock.advance(0.005)
+    service.pump()
+    service.flush()
+    assert all(future.done() for future in futures)
+    sizes = service.stats.batch_sizes
+    print(f"\ntrickle batch sizes {sizes} "
+          f"({service.scheduler.stats.deadline_dispatches} deadline "
+          f"dispatches)")
+    assert service.scheduler.stats.deadline_dispatches >= 1
+    # The deadline scheduler must beat one-query-per-arrival batching.
+    assert max(sizes) >= 4, (
+        f"trickle traffic executed in batches of {sizes}; the deadline "
+        "scheduler should accumulate >= 4 queries per traversal"
+    )
+    assert service.stats.amortization_ratio() < 1.0
 
 
 def test_service_cache_makes_repeat_traffic_free(workload):

@@ -212,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--iterations", type=int, default=5)
     serve.add_argument("--ps", type=float, default=0.8)
     serve.add_argument("--machines", type=int, default=16)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="split the machine fleet into this many shard sub-clusters "
+             "and fan every batch out across them",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=None,
+        help="also demo the deadline scheduler: trickle queries in one "
+             "per millisecond under this batching deadline",
+    )
     serve.add_argument("--top-k", type=int, default=10)
     serve.add_argument("--seed", type=int, default=0)
 
@@ -497,6 +507,7 @@ def _cmd_faults(args) -> int:
 def _cmd_serve_bench(args) -> int:
     import numpy as np
 
+    from .cluster import make_partitioner
     from .core import run_personalized_frogwild
     from .engine import build_cluster
     from .serving import RankingQuery, RankingService
@@ -529,14 +540,27 @@ def _cmd_serve_bench(args) -> int:
         max_batch_size=args.batch_size,
         cache_capacity=max(256, 2 * args.queries),
         seed=args.seed,
+        num_shards=args.shards,
+    )
+    layout = (
+        f"{args.shards} shards x "
+        f"{service.backend.machines_per_shard} machines"
+        if args.shards > 1
+        else f"{args.machines} machines"
     )
     print(
         f"workload: {graph.num_vertices:,} vertices, "
-        f"{graph.num_edges:,} edges on {args.machines} machines"
+        f"{graph.num_edges:,} edges on {layout}"
     )
 
-    # Sequential baseline: one traversal per query over the same shared
+    # Sequential baseline: one traversal per query over one shared
     # ingress partition (the repo's repeated-run idiom, cf. adaptive).
+    if service.replication is not None:
+        baseline_partition = service.replication.partition
+    else:
+        baseline_partition = make_partitioner("random", args.seed).partition(
+            graph, args.machines
+        )
     start = time.perf_counter()
     sequential = []
     for seeds in seed_sets:
@@ -544,7 +568,7 @@ def _cmd_serve_bench(args) -> int:
             graph,
             args.machines,
             seed=args.seed,
-            partition=service.replication.partition,
+            partition=baseline_partition,
         )
         sequential.append(
             run_personalized_frogwild(graph, seeds, config, state=state)
@@ -574,6 +598,11 @@ def _cmd_serve_bench(args) -> int:
     print(f"wire bytes (shared)       : {stats.shared_network_bytes:,}")
     print(f"wire bytes (attributed)   : {stats.attributed_network_bytes:,}")
     print(f"amortization ratio        : {stats.amortization_ratio():.3f}")
+    for shard, costs in stats.shard_breakdown().items():
+        print(f"  shard {shard}: "
+              f"{int(costs['shared_network_bytes']):,} shared bytes, "
+              f"{int(costs['attributed_network_bytes']):,} attributed, "
+              f"{costs['cpu_seconds']:.4f} cpu-s")
     print(f"cache                     : {service.cache_stats()}")
     misses = sum(not answer.cached for answer in reheated)
     if misses:
@@ -590,6 +619,42 @@ def _cmd_serve_bench(args) -> int:
                   f"{agreement:.0%} for seeds {answer.query.seeds}")
     print(f"sample answer             : seeds {answers[0].query.seeds} -> "
           f"{answers[0].vertices.tolist()}")
+
+    if args.max_delay_ms is not None:
+        from .serving import VirtualClock
+
+        # Trickle demo: queries arrive one per (virtual) millisecond;
+        # the deadline scheduler still forms real batches instead of
+        # executing each arrival alone.
+        clock = VirtualClock()
+        trickle = RankingService(
+            graph,
+            config,
+            num_machines=args.machines,
+            max_batch_size=args.batch_size,
+            cache_capacity=max(256, 2 * args.queries),
+            seed=args.seed,
+            backend=service.backend,  # reuse the paid ingress
+            max_delay_s=args.max_delay_ms / 1000.0,
+            clock=clock,
+        )
+        futures = []
+        for seeds in seed_sets:
+            futures.append(
+                trickle.submit(tuple(seeds.tolist()), k=args.top_k)
+            )
+            clock.advance(0.001)
+            trickle.pump()
+        trickle.flush()
+        assert all(future.done() for future in futures)
+        sched = trickle.scheduler.stats
+        print(f"\ntrickle (1 query/ms, {args.max_delay_ms:g} ms deadline)")
+        print(f"scheduled batch sizes     : {trickle.stats.batch_sizes}")
+        print(f"dispatch reasons          : {sched.fill_dispatches} fill, "
+              f"{sched.deadline_dispatches} deadline, "
+              f"{sched.flush_dispatches} flush")
+        print("amortization ratio        : "
+              f"{trickle.stats.amortization_ratio():.3f}")
     return 0
 
 

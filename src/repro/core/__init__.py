@@ -11,6 +11,7 @@ from .batched import (
     BatchedFrogWildResult,
     BatchedFrogWildRunner,
     BatchQuery,
+    merge_shard_results,
     run_frogwild_batch,
 )
 from .config import FrogWildConfig
@@ -34,6 +35,7 @@ __all__ = [
     "BatchQuery",
     "BatchedFrogWildResult",
     "BatchedFrogWildRunner",
+    "merge_shard_results",
     "run_frogwild_batch",
     "run_personalized_frogwild_batch",
     "AdaptiveConfig",

@@ -32,7 +32,7 @@ batch bought — the quantity ``benchmarks/bench_serving.py`` plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -64,6 +64,7 @@ __all__ = [
     "BatchQuery",
     "BatchedFrogWildResult",
     "BatchedFrogWildRunner",
+    "merge_shard_results",
     "run_frogwild_batch",
 ]
 
@@ -295,7 +296,9 @@ class BatchedFrogWildRunner:
             lane.counts += lane.frogs
             estimate = PageRankEstimate(lane.counts, lane.num_frogs)
             results.append(
-                FrogWildResult(estimate, self._lane_report(lane), state)
+                FrogWildResult(
+                    estimate, self._lane_report(lane), state, lane.ledger
+                )
             )
         return BatchedFrogWildResult(
             tuple(results), self._batch_report(), state
@@ -481,6 +484,67 @@ class BatchedFrogWildRunner:
                 "replication_factor": state.replication.replication_factor(),
             },
         )
+
+
+def merge_shard_results(lanes: Sequence[FrogWildResult]) -> FrogWildResult:
+    """Merge per-shard results of *one* query into a single result.
+
+    The sharded serving backend splits a query's frog budget across
+    shard sub-clusters; because frogs are independent, the merged
+    counter vector is exactly the counters a single run of the full
+    budget would have produced in distribution.  Attribution merges the
+    same way the hardware would bill it:
+
+    * ``network_bytes`` and ``cpu_seconds`` **add** — every shard's
+      traffic and work is real and owed to this query;
+    * ``total_time_s`` and ``supersteps`` take the **max** — shards
+      advance concurrently, so the query waits for the slowest one.
+    """
+    if not lanes:
+        raise ConfigError("need at least one shard result to merge")
+    if len(lanes) == 1:
+        return lanes[0]
+    estimate = PageRankEstimate.merge([lane.estimate for lane in lanes])
+    reports = [lane.report for lane in lanes]
+    # Merge attribution at the ledger level when the lanes carry their
+    # ledgers (batched-runner lanes always do): records, messages and
+    # CPU ops add, supersteps take the max.  The fallback sums the
+    # already-priced reports, which is byte-identical because
+    # standalone pricing is linear in records and messages.
+    ledger: CostLedger | None = None
+    if all(lane.ledger is not None for lane in lanes):
+        ledger = replace(lanes[0].ledger)
+        for lane in lanes[1:]:
+            ledger.merge(lane.ledger)
+        supersteps = ledger.supersteps
+        network_bytes = ledger.standalone_network_bytes()
+    else:
+        supersteps = max(report.supersteps for report in reports)
+        network_bytes = sum(report.network_bytes for report in reports)
+    total_time = max(report.total_time_s for report in reports)
+    # Only config-level entries survive the merge; per-layout ones
+    # (replication_factor, batch_index) describe a single shard's
+    # independently seeded ingress and would misdescribe the whole.
+    extra = {
+        key: reports[0].extra[key]
+        for key in ("iterations", "ps", "batch_size")
+        if key in reports[0].extra
+    }
+    extra.update(
+        num_frogs=float(estimate.num_frogs),
+        shards=float(len(lanes)),
+    )
+    merged = RunReport(
+        algorithm=f"frogwild-sharded(S={len(lanes)})",
+        num_machines=sum(report.num_machines for report in reports),
+        supersteps=supersteps,
+        total_time_s=total_time,
+        time_per_iteration_s=total_time / supersteps if supersteps else 0.0,
+        network_bytes=network_bytes,
+        cpu_seconds=sum(report.cpu_seconds for report in reports),
+        extra=extra,
+    )
+    return FrogWildResult(estimate, merged, lanes[0].state, ledger)
 
 
 def run_frogwild_batch(

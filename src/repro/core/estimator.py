@@ -52,6 +52,26 @@ class PageRankEstimate:
         self._counts = counts
         self._num_frogs = int(num_frogs)
 
+    @classmethod
+    def merge(cls, estimates: "list[PageRankEstimate]") -> "PageRankEstimate":
+        """Sum independent estimates of the same chain into one.
+
+        Frogs are independent walkers, so an N-frog estimate split into
+        disjoint sub-populations (the sharded serving backend runs each
+        on its own sub-cluster) recombines exactly: counters add and the
+        denominator is the total frog count.  All inputs must cover the
+        same vertex universe.
+        """
+        if not estimates:
+            raise ConfigError("need at least one estimate to merge")
+        n = estimates[0].num_vertices
+        if any(e.num_vertices != n for e in estimates):
+            raise ConfigError("cannot merge estimates of different graphs")
+        counts = np.zeros(n, dtype=np.int64)
+        for estimate in estimates:
+            counts += estimate.counts
+        return cls(counts, sum(e.num_frogs for e in estimates))
+
     @property
     def counts(self) -> np.ndarray:
         """Raw stop counters ``c``."""

@@ -39,7 +39,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster import CostModel, EdgePartition, MessageSizeModel
-from ..engine import ClusterState, MirrorSynchronizer, RunReport, build_cluster
+from ..engine import (
+    ClusterState,
+    CostLedger,
+    MirrorSynchronizer,
+    RunReport,
+    build_cluster,
+)
 from ..errors import EngineError
 from ..graph import DiGraph
 from .config import FrogWildConfig
@@ -51,11 +57,17 @@ __all__ = ["FrogWildResult", "FrogWildRunner", "run_frogwild"]
 
 @dataclass(frozen=True)
 class FrogWildResult:
-    """Estimate plus execution report of one FrogWild run."""
+    """Estimate plus execution report of one FrogWild run.
+
+    ``ledger`` carries the raw per-population cost attribution when the
+    run was a lane of a batched execution (None for single runs); the
+    sharded serving backend merges shard lanes through it.
+    """
 
     estimate: PageRankEstimate
     report: RunReport
     state: ClusterState
+    ledger: CostLedger | None = None
 
 
 def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import EngineError
+
 __all__ = ["StepRecord", "EngineStats", "RunReport", "CostLedger"]
 
 
@@ -102,6 +104,28 @@ class CostLedger:
             self.message_header_bytes * self.network_messages
             + self.record_bytes * self.network_records
         )
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger of the *same query* into this one.
+
+        :func:`repro.core.batched.merge_shard_results` merges shard
+        lanes through this: when one query's frog population is split
+        across shard sub-clusters, each shard keeps its own ledger and
+        the per-query attribution is their exact sum.  Records,
+        messages and CPU ops add; ``supersteps`` takes the max because
+        shards advance their barriers concurrently.
+        """
+        if (
+            other.record_bytes != self.record_bytes
+            or other.message_header_bytes != self.message_header_bytes
+        ):
+            raise EngineError(
+                "cannot merge ledgers priced under different size models"
+            )
+        self.supersteps = max(self.supersteps, other.supersteps)
+        self.cpu_ops += other.cpu_ops
+        self.network_records += other.network_records
+        self.network_messages += other.network_messages
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Top-k ranking as a service: batching, caching, cost attribution.
+"""Top-k ranking as a service: scheduling, sharding, caching, metering.
 
 This package is the production face of the reproduction — the answer
 to "how does FrogWild serve heavy multi-user traffic?".  Its design
@@ -11,34 +11,69 @@ rests on two facts from the paper:
   are B populations that can ride **one** traversal of the partitioned
   graph (:class:`~repro.core.batched.BatchedFrogWildRunner`), paying
   the topology gather, the BSP barriers and the per-message wire
-  headers once per superstep instead of once per query.
+  headers once per superstep instead of once per query.  Because frogs
+  are *independent* walkers, a population also shards: split a query's
+  frog budget across shard sub-clusters and the per-shard counters
+  merge back by exact summation.
 * **Definition 5 / Theorem 1** (the counter estimate): a completed
   estimate is an immutable counter vector whose top-k answers any k
   by prefix — ideal cache material.  The service keys its TTL/LRU
-  cache on ``(seeds, weights, config)`` so repeated queries cost zero
-  cluster work, with TTL bounding staleness on churning graphs.
+  cache on ``(generation, seeds, weights, config)`` so repeated
+  queries cost zero cluster work, with an injectable generation
+  counter invalidating exactly on graph churn and TTL bounding
+  staleness as a fallback.
 
 Module map: :mod:`~repro.serving.cache` (TTL/LRU store),
 :mod:`~repro.serving.batching` (query normalization and the
-config-pure coalescer), :mod:`~repro.serving.service` (the
-:class:`RankingService` façade tying cache → coalescer → batched
-runner together, with per-query cost attribution for honest metering).
+config-pure, deadline-aware coalescer), :mod:`~repro.serving.backend`
+(the :class:`ExecutionBackend` seam: :class:`LocalBackend` single
+cluster, :class:`ShardedBackend` shard fan-out with exact cost
+partitioning), :mod:`~repro.serving.scheduler` (fill-or-deadline
+:class:`BatchScheduler`, virtual-clock or background-thread driven),
+:mod:`~repro.serving.service` (the :class:`RankingService` façade
+tying cache → coalescer → scheduler → backend together, with per-query
+cost attribution for honest metering).
 
 Benchmarked by ``benchmarks/bench_serving.py``; demonstrated end to
-end by ``examples/ranking_service.py`` and the ``repro serve-bench``
-CLI command.
+end by ``examples/ranking_service.py``, ``examples/sharded_service.py``
+and the ``repro serve-bench`` CLI command.
 """
 
-from .batching import QueryCoalescer, RankingQuery
+from .backend import (
+    BatchOutcome,
+    ExecutionBackend,
+    LocalBackend,
+    QueryOutcome,
+    ShardCost,
+    ShardedBackend,
+)
+from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import CacheStats, TTLCache
-from .service import RankingAnswer, RankingService, ServiceStats
+from .scheduler import BatchScheduler, SchedulerStats, VirtualClock
+from .service import (
+    RankingAnswer,
+    RankingFuture,
+    RankingService,
+    ServiceStats,
+)
 
 __all__ = [
     "CacheStats",
     "TTLCache",
     "QueryCoalescer",
+    "PendingQuery",
     "RankingQuery",
+    "BatchOutcome",
+    "QueryOutcome",
+    "ShardCost",
+    "ExecutionBackend",
+    "LocalBackend",
+    "ShardedBackend",
+    "BatchScheduler",
+    "SchedulerStats",
+    "VirtualClock",
     "RankingAnswer",
+    "RankingFuture",
     "RankingService",
     "ServiceStats",
 ]

@@ -1,0 +1,362 @@
+"""Execution backends: where a drained batch of ranking queries runs.
+
+The serving layer is split at an :class:`ExecutionBackend` seam: the
+:class:`~repro.serving.RankingService` owns caching, coalescing and
+scheduling, while a backend owns *cluster layout* — how a config-pure
+batch of queries turns into traversals of the partitioned graph.  Two
+backends ship:
+
+* :class:`LocalBackend` — the original single-cluster path: one
+  :class:`~repro.core.batched.BatchedFrogWildRunner` traversal over one
+  partitioned ingress (paid once, reused by every batch).
+* :class:`ShardedBackend` — a scale-out tier: the machine fleet is
+  split into ``num_shards`` sub-clusters, each holding its own
+  partitioned ingress of the graph (per-shard masters and replication
+  tables, built once).  Because frogs are independent walkers, the
+  shardable unit is the *population*: each query's frog budget is split
+  across shards, every shard advances its slice of every population
+  through its own batched traversal, and the per-shard surviving-frog
+  counters merge by exact summation before top-k
+  (:func:`~repro.core.batched.merge_shard_results`).  Per-query cost
+  attribution merges the same way — shard ledgers add, so the billed
+  bytes partition exactly across shards.
+
+Both expose the same contract, so the service, the scheduler, the CLI
+and the benchmarks are layout-agnostic; churn invalidation and wire
+dedupe (ROADMAP) plug into this seam next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..cluster import (
+    CostModel,
+    MessageSizeModel,
+    ReplicationTable,
+    make_partitioner,
+)
+from ..core import (
+    BatchQuery,
+    FrogWildConfig,
+    PageRankEstimate,
+    merge_shard_results,
+    run_frogwild_batch,
+    seed_distribution,
+)
+from ..engine import RunReport, build_cluster
+from ..errors import ConfigError
+from ..graph import DiGraph
+from .batching import RankingQuery
+
+__all__ = [
+    "QueryOutcome",
+    "ShardCost",
+    "BatchOutcome",
+    "ExecutionBackend",
+    "LocalBackend",
+    "ShardedBackend",
+]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One query's executed estimate plus its attributed report."""
+
+    estimate: PageRankEstimate
+    report: RunReport
+
+
+@dataclass(frozen=True)
+class ShardCost:
+    """What one shard spent executing its slice of a batch."""
+
+    shard: int
+    num_machines: int
+    shared_network_bytes: int
+    attributed_network_bytes: int
+    cpu_seconds: float
+    simulated_time_s: float
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of executing one config-pure batch through a backend.
+
+    ``lanes[i]`` answers ``queries[i]``; ``shared_network_bytes`` is
+    what actually crossed the wire (summed over shards when sharded);
+    ``simulated_time_s`` is the batch's wall time on the simulated
+    cluster (the slowest shard when sharded, since shards run
+    concurrently); ``shards`` carries the per-shard cost breakdown and
+    is empty for single-cluster execution.
+    """
+
+    lanes: tuple[QueryOutcome, ...]
+    shared_network_bytes: int
+    simulated_time_s: float
+    shards: tuple[ShardCost, ...] = ()
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The seam between the serving layer and cluster layout.
+
+    A backend turns one config-pure batch of queries into per-query
+    estimates with honest cost attribution.  It owns its ingress
+    (partitioning + replication tables, paid once at construction) and
+    must answer ``queries[i]`` in ``lanes[i]``.
+    """
+
+    num_shards: int
+
+    def run_batch(
+        self, config: FrogWildConfig, queries: Sequence[RankingQuery]
+    ) -> BatchOutcome:
+        """Execute ``queries`` under ``config``; answers in order."""
+        ...
+
+
+def _batch_queries(
+    graph: DiGraph, queries: Sequence[RankingQuery]
+) -> list[np.ndarray]:
+    """Per-query personalized birth laws (Lemma 16 teleport vectors)."""
+    return [
+        seed_distribution(
+            graph.num_vertices,
+            np.asarray(query.seeds, dtype=np.int64),
+            None
+            if query.weights is None
+            else np.asarray(query.weights, dtype=np.float64),
+        )
+        for query in queries
+    ]
+
+
+class LocalBackend:
+    """Single-cluster execution: one batched traversal per batch.
+
+    This is exactly the execution path :class:`RankingService` inlined
+    before the backend seam existed: the ingress (partition + derived
+    replication tables) is paid once here and shared by every batch,
+    while each batch gets a fresh accounting state so per-batch
+    traffic/CPU/time numbers stay clean.
+    """
+
+    num_shards = 1
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_machines: int = 16,
+        partitioner: str = "random",
+        cost_model: CostModel | None = None,
+        size_model: MessageSizeModel | None = None,
+        seed: int | None = 0,
+        replication: ReplicationTable | None = None,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise ConfigError("cannot serve an empty graph")
+        self.graph = graph
+        self.num_machines = num_machines
+        self.cost_model = cost_model
+        self.size_model = size_model
+        self.seed = seed
+        if replication is None:
+            partition = make_partitioner(partitioner, seed).partition(
+                graph, num_machines
+            )
+            replication = ReplicationTable(graph, partition, seed=seed)
+        self.replication = replication
+
+    def fresh_state(self):
+        """A fresh accounting state over the shared ingress."""
+        return build_cluster(
+            self.graph,
+            self.num_machines,
+            cost_model=self.cost_model,
+            size_model=self.size_model,
+            seed=self.seed,
+            replication=self.replication,
+        )
+
+    def run_batch(
+        self, config: FrogWildConfig, queries: Sequence[RankingQuery]
+    ) -> BatchOutcome:
+        distributions = _batch_queries(self.graph, queries)
+        result = run_frogwild_batch(
+            self.graph,
+            [BatchQuery(start_distribution=d) for d in distributions],
+            config,
+            state=self.fresh_state(),
+        )
+        return BatchOutcome(
+            lanes=tuple(
+                QueryOutcome(lane.estimate, lane.report)
+                for lane in result.results
+            ),
+            shared_network_bytes=result.report.network_bytes,
+            simulated_time_s=result.report.total_time_s,
+        )
+
+
+class ShardedBackend:
+    """Shard fan-out execution with exact counter and ledger merging.
+
+    The fleet is split into ``num_shards`` sub-clusters of
+    ``machines_per_shard`` machines; each shard partitions the graph
+    across its own machines at construction (its own per-partition
+    masters and replication tables, seeded distinctly so shard layouts
+    are independent).  ``run_batch`` splits every query's frog budget
+    across the shards — remainder frogs go to the lowest-numbered
+    shards, and shards whose share is zero sit the batch out — derives a
+    distinct per-shard rng seed so shard populations are independent
+    samples, runs one batched traversal per shard, and merges:
+
+    * per-query counters by summation (exact — frogs are independent,
+      see :meth:`~repro.core.PageRankEstimate.merge`);
+    * per-query cost attribution by summation of shard ledgers, wall
+      time by max (shards run concurrently), via
+      :func:`~repro.core.batched.merge_shard_results`.
+
+    Consequently ``sum(lane.report.network_bytes)`` over the merged
+    lanes equals ``sum(shard.attributed_network_bytes)`` over the shard
+    breakdown — the billed bytes partition exactly across shards.
+
+    Design note: each shard holds a *complete* replica of the graph,
+    partitioned (per-partition masters + replication tables) across its
+    own sub-cluster — the shardable unit is the frog population, not
+    the edge set.  Cutting the graph itself across shards would break
+    walk semantics (frogs cross any cut), which is exactly what the
+    within-shard vertex-cut machinery already simulates.  The price is
+    ingress memory proportional to ``num_shards``; the payoff is
+    fleet-level parallelism with exactly mergeable counters/ledgers.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_shards: int = 4,
+        machines_per_shard: int | None = None,
+        num_machines: int | None = None,
+        partitioner: str = "random",
+        cost_model: CostModel | None = None,
+        size_model: MessageSizeModel | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise ConfigError("cannot serve an empty graph")
+        if num_shards < 1:
+            raise ConfigError("num_shards must be positive")
+        if machines_per_shard is None:
+            fleet = num_machines if num_machines is not None else 16
+            if num_shards > fleet:
+                raise ConfigError(
+                    f"cannot split a {fleet}-machine fleet into "
+                    f"{num_shards} shards: each shard needs at least "
+                    "one machine (grow the fleet or reduce the shard "
+                    "count)"
+                )
+            # Remainder machines (fleet % num_shards) are left idle;
+            # callers see the effective layout via num_shards x
+            # machines_per_shard.
+            machines_per_shard = fleet // num_shards
+        if machines_per_shard < 1:
+            raise ConfigError("machines_per_shard must be positive")
+        self.graph = graph
+        self.num_shards = num_shards
+        self.machines_per_shard = machines_per_shard
+        self.cost_model = cost_model
+        self.size_model = size_model
+        self.seed = seed
+        # Ingress paid once per shard: each sub-cluster partitions the
+        # graph across its own machines under a distinct seed.
+        self.replications = [
+            ReplicationTable(
+                graph,
+                make_partitioner(
+                    partitioner, self._shard_seed(seed, shard)
+                ).partition(graph, machines_per_shard),
+                seed=seed,
+            )
+            for shard in range(num_shards)
+        ]
+
+    @staticmethod
+    def _shard_seed(base: int | None, shard: int) -> int | None:
+        """Deterministic distinct stream per shard (None stays None)."""
+        return None if base is None else base + 7919 * (shard + 1)
+
+    def _shares(self, num_frogs: int) -> list[int]:
+        """Split a frog budget across shards; remainder to low shards."""
+        base, extra = divmod(num_frogs, self.num_shards)
+        return [
+            base + (1 if shard < extra else 0)
+            for shard in range(self.num_shards)
+        ]
+
+    def fresh_state(self, shard: int):
+        """A fresh accounting state over one shard's shared ingress."""
+        return build_cluster(
+            self.graph,
+            self.machines_per_shard,
+            cost_model=self.cost_model,
+            size_model=self.size_model,
+            seed=self.seed,
+            replication=self.replications[shard],
+        )
+
+    def run_batch(
+        self, config: FrogWildConfig, queries: Sequence[RankingQuery]
+    ) -> BatchOutcome:
+        distributions = _batch_queries(self.graph, queries)
+        shares = self._shares(config.num_frogs)
+        per_query_lanes: list[list] = [[] for _ in queries]
+        shard_costs: list[ShardCost] = []
+        for shard, share in enumerate(shares):
+            if share == 0:
+                continue
+            result = run_frogwild_batch(
+                self.graph,
+                [
+                    BatchQuery(
+                        num_frogs=share,
+                        start_distribution=distribution,
+                        seed=self._shard_seed(config.seed, shard),
+                    )
+                    for distribution in distributions
+                ],
+                config,
+                state=self.fresh_state(shard),
+            )
+            for lanes, shard_lane in zip(per_query_lanes, result.results):
+                lanes.append(shard_lane)
+            shard_costs.append(
+                ShardCost(
+                    shard=shard,
+                    num_machines=self.machines_per_shard,
+                    shared_network_bytes=result.report.network_bytes,
+                    attributed_network_bytes=(
+                        result.attributed_network_bytes()
+                    ),
+                    cpu_seconds=sum(
+                        lane.report.cpu_seconds for lane in result.results
+                    ),
+                    simulated_time_s=result.report.total_time_s,
+                )
+            )
+        merged = [merge_shard_results(lanes) for lanes in per_query_lanes]
+        return BatchOutcome(
+            lanes=tuple(
+                QueryOutcome(lane.estimate, lane.report) for lane in merged
+            ),
+            shared_network_bytes=sum(
+                cost.shared_network_bytes for cost in shard_costs
+            ),
+            simulated_time_s=max(
+                (cost.simulated_time_s for cost in shard_costs), default=0.0
+            ),
+            shards=tuple(shard_costs),
+        )

@@ -9,6 +9,15 @@ into batches the batched runner can execute — with one hard rule:
 ``p_teleport``, ``scatter_mode`` and ``erasure_model``, so a query that
 overrides any of them must ride a different traversal; coalescing them
 anyway would silently change the semantics of its batchmates' answers.
+
+The coalescer was always meant to be drained by a scheduler rather
+than synchronously: every entry may carry an *arrival* timestamp and an
+opaque *payload* (the service attaches the caller's future), and the
+deadline-aware pop methods — :meth:`QueryCoalescer.pop_full_entries`,
+:meth:`QueryCoalescer.pop_due_entries`, :meth:`QueryCoalescer.next_deadline`
+— implement the two dispatch triggers of
+:class:`~repro.serving.scheduler.BatchScheduler`: a batch fills, or the
+oldest pending query's max-delay deadline expires.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import numpy as np
 from ..core import FrogWildConfig
 from ..errors import ConfigError
 
-__all__ = ["RankingQuery", "QueryCoalescer"]
+__all__ = ["RankingQuery", "PendingQuery", "QueryCoalescer"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,16 @@ class RankingQuery:
             )
             if len(weights) != len(seeds):
                 raise ConfigError("weights must align with seeds")
+            # Mirror seed_distribution's checks here so a bad restart
+            # law fails at construction, not mid-dispatch inside a
+            # batch that its batchmates are riding.  Written so NaN
+            # fails every comparison into the error branch.
+            if not all(np.isfinite(weights)):
+                raise ConfigError("weights must be finite")
+            if min(weights) < 0 or not sum(weights) > 0:
+                raise ConfigError(
+                    "weights must be non-negative with positive mass"
+                )
             object.__setattr__(self, "weights", weights)
         if self.k < 1:
             raise ConfigError("k must be positive")
@@ -69,6 +88,20 @@ class RankingQuery:
         return (self.seeds, self.weights, self.effective_config(default))
 
 
+@dataclass(frozen=True)
+class PendingQuery:
+    """One enqueued query plus its scheduling metadata.
+
+    ``arrival`` is the clock reading at enqueue time (the deadline
+    anchor; ``None`` means "due immediately"); ``payload`` is opaque to
+    the coalescer — the service threads the caller's future through it.
+    """
+
+    query: RankingQuery
+    arrival: float | None = None
+    payload: object = None
+
+
 class QueryCoalescer:
     """Groups pending queries into config-pure, size-bounded batches.
 
@@ -77,27 +110,136 @@ class QueryCoalescer:
     never mixing configs, never exceeding ``max_batch_size`` (the
     batched runner's sweet spot — beyond it per-population work
     dominates and latency grows without amortization gains).
+
+    A scheduler drains selectively instead: :meth:`pop_full_entries`
+    removes only batches that reached ``max_batch_size`` and
+    :meth:`pop_due_entries` removes groups whose oldest entry has waited
+    past its deadline, both returning the full :class:`PendingQuery`
+    entries so payloads survive the trip.
     """
 
     def __init__(self, max_batch_size: int = 16) -> None:
         if max_batch_size < 1:
             raise ConfigError("max_batch_size must be positive")
         self.max_batch_size = max_batch_size
-        self._pending: dict[FrogWildConfig, list[RankingQuery]] = {}
+        self._pending: dict[FrogWildConfig, list[PendingQuery]] = {}
 
-    def add(self, query: RankingQuery, default: FrogWildConfig) -> None:
+    def add(
+        self,
+        query: RankingQuery,
+        default: FrogWildConfig,
+        arrival: float | None = None,
+        payload: object = None,
+    ) -> None:
         """Enqueue one query under its effective config."""
         config = query.effective_config(default)
-        self._pending.setdefault(config, []).append(query)
+        self._pending.setdefault(config, []).append(
+            PendingQuery(query, arrival, payload)
+        )
 
     def pending_count(self) -> int:
-        return sum(len(queries) for queries in self._pending.values())
+        return sum(len(entries) for entries in self._pending.values())
 
     def drain(self) -> list[tuple[FrogWildConfig, list[RankingQuery]]]:
         """Empty the queue as a list of ready-to-run batches."""
-        batches: list[tuple[FrogWildConfig, list[RankingQuery]]] = []
-        for config, queries in self._pending.items():
-            for lo in range(0, len(queries), self.max_batch_size):
-                batches.append((config, queries[lo:lo + self.max_batch_size]))
+        return [
+            (config, [entry.query for entry in entries])
+            for config, entries in self.drain_entries()
+        ]
+
+    def drain_entries(
+        self,
+    ) -> list[tuple[FrogWildConfig, list[PendingQuery]]]:
+        """Empty the queue, keeping per-entry scheduling metadata."""
+        batches: list[tuple[FrogWildConfig, list[PendingQuery]]] = []
+        for config, entries in self._pending.items():
+            for lo in range(0, len(entries), self.max_batch_size):
+                batches.append((config, entries[lo:lo + self.max_batch_size]))
         self._pending.clear()
         return batches
+
+    def pop_full_entries(
+        self,
+    ) -> list[tuple[FrogWildConfig, list[PendingQuery]]]:
+        """Remove and return only the batches that reached full size.
+
+        Partial remainders stay queued (their deadline keeps running).
+        """
+        batches: list[tuple[FrogWildConfig, list[PendingQuery]]] = []
+        for config in list(self._pending):
+            entries = self._pending[config]
+            while len(entries) >= self.max_batch_size:
+                batches.append((config, entries[: self.max_batch_size]))
+                entries = entries[self.max_batch_size:]
+            if entries:
+                self._pending[config] = entries
+            else:
+                del self._pending[config]
+        return batches
+
+    def pop_due_entries(
+        self, now: float, max_delay_s: float
+    ) -> list[tuple[FrogWildConfig, list[PendingQuery]]]:
+        """Remove and return the groups whose deadline has expired.
+
+        A config group is due when its *oldest* entry has waited at
+        least ``max_delay_s`` (entries with no arrival are due at once);
+        the whole group dispatches — queries that arrived later simply
+        get lucky and ride the same traversal.
+        """
+        batches: list[tuple[FrogWildConfig, list[PendingQuery]]] = []
+        for config in list(self._pending):
+            entries = self._pending[config]
+            if self._group_deadline(entries, max_delay_s) > now:
+                continue
+            for lo in range(0, len(entries), self.max_batch_size):
+                batches.append((config, entries[lo:lo + self.max_batch_size]))
+            del self._pending[config]
+        return batches
+
+    @staticmethod
+    def _group_deadline(
+        entries: list[PendingQuery], max_delay_s: float
+    ) -> float:
+        """When this group becomes due: its earliest arrival plus the
+        delay; any entry without an arrival makes it due immediately."""
+        arrivals = [entry.arrival for entry in entries]
+        if any(arrival is None for arrival in arrivals):
+            return float("-inf")
+        return min(arrivals) + max_delay_s
+
+    def pop_payload_entries(
+        self, payloads: set
+    ) -> list[tuple[FrogWildConfig, list[PendingQuery]]]:
+        """Remove and return only the entries carrying these payloads.
+
+        The synchronous service path flushes exactly the entries its
+        own call depends on; other callers' deadline-scheduled entries
+        stay queued with their deadlines intact.
+        """
+        batches: list[tuple[FrogWildConfig, list[PendingQuery]]] = []
+        for config in list(self._pending):
+            entries = self._pending[config]
+            mine = [e for e in entries if e.payload in payloads]
+            if not mine:
+                continue
+            rest = [e for e in entries if e.payload not in payloads]
+            if rest:
+                self._pending[config] = rest
+            else:
+                del self._pending[config]
+            for lo in range(0, len(mine), self.max_batch_size):
+                batches.append((config, mine[lo:lo + self.max_batch_size]))
+        return batches
+
+    def next_deadline(self, max_delay_s: float) -> float | None:
+        """Earliest instant any pending group becomes due, or ``None``.
+
+        Entries enqueued without an arrival timestamp are due
+        immediately and report a deadline of ``-inf``.
+        """
+        deadlines = [
+            self._group_deadline(entries, max_delay_s)
+            for entries in self._pending.values()
+        ]
+        return min(deadlines) if deadlines else None

@@ -1,0 +1,314 @@
+"""Deadline-based batch scheduling: fill-or-deadline dispatch.
+
+Synchronously draining the coalescer only batches well when callers
+arrive in bursts.  Production traffic trickles — one query per tick —
+and a synchronous drain would execute every query alone, forfeiting all
+amortization.  :class:`BatchScheduler` implements the policy the
+:class:`~repro.serving.batching.QueryCoalescer` was designed for:
+
+* **fill** — the moment a config group reaches ``max_batch_size`` it
+  dispatches (inline, in the submitting thread: no latency is saved by
+  waiting once the batch cannot grow);
+* **deadline** — a partial group dispatches when its *oldest* entry has
+  waited ``max_delay_s``, bounding worst-case queueing latency while
+  letting trickle traffic accumulate into real batches;
+* **flush** — everything pending dispatches immediately (service
+  shutdown, or the synchronous ``query_batch`` path, which is just a
+  zero-delay schedule).
+
+The clock is injectable: tests and benchmarks drive a
+:class:`VirtualClock` and call :meth:`BatchScheduler.poll` explicitly
+(deterministic, no sleeps), while a live service calls
+:meth:`BatchScheduler.start` to run a background thread that sleeps
+until the next deadline and wakes early when submissions arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core import FrogWildConfig
+from ..errors import ConfigError
+from .batching import PendingQuery, QueryCoalescer, RankingQuery
+
+__all__ = ["VirtualClock", "SchedulerStats", "BatchScheduler"]
+
+
+class VirtualClock:
+    """A manually advanced clock for deterministic scheduling tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ConfigError("clocks only move forward")
+        self.now += dt
+        return self.now
+
+
+@dataclass
+class SchedulerStats:
+    """Why batches left the queue, over a scheduler's lifetime."""
+
+    fill_dispatches: int = 0
+    deadline_dispatches: int = 0
+    flush_dispatches: int = 0
+    queries_dispatched: int = 0
+
+    def batches_dispatched(self) -> int:
+        return (
+            self.fill_dispatches
+            + self.deadline_dispatches
+            + self.flush_dispatches
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "fill_dispatches": float(self.fill_dispatches),
+            "deadline_dispatches": float(self.deadline_dispatches),
+            "flush_dispatches": float(self.flush_dispatches),
+            "batches_dispatched": float(self.batches_dispatched()),
+            "queries_dispatched": float(self.queries_dispatched),
+        }
+
+
+class BatchScheduler:
+    """Dispatches coalesced batches when they fill or their deadline hits.
+
+    Parameters
+    ----------
+    dispatch:
+        Callback ``(config, entries)`` executing one config-pure batch;
+        entries are :class:`PendingQuery` rows carrying the submitter's
+        payload.  Called without internal locks held, so it may submit
+        further queries or take its own locks freely.
+    coalescer:
+        The config-pure queue; shared with the owning service.
+    max_delay_s:
+        Deadline for the oldest entry of a partial batch.  ``None``
+        disables deadline dispatch: partial batches leave only via
+        :meth:`flush` (the synchronous path) or a fill.
+    clock:
+        Injectable time source; defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[FrogWildConfig, list[PendingQuery]], None],
+        coalescer: QueryCoalescer,
+        max_delay_s: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_delay_s is not None and max_delay_s < 0:
+            raise ConfigError("max_delay_s must be non-negative (or None)")
+        self._dispatch = dispatch
+        self.coalescer = coalescer
+        self.max_delay_s = max_delay_s
+        self._clock = clock or time.monotonic
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        # Each loop thread watches its *own* stop event: a start()
+        # racing a stop() must not resurrect the old thread's stop
+        # signal (a shared flag would leave stop() joining forever).
+        self._stop_event: threading.Event | None = None
+        self.stats = SchedulerStats()
+        #: Last exception a background-thread dispatch raised.  The
+        #: failing batch's futures already carry it; this surfaces it
+        #: to operators polling the scheduler.
+        self.last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Submission and dispatch
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: RankingQuery,
+        default: FrogWildConfig,
+        payload: object = None,
+    ) -> None:
+        """Enqueue one query; dispatches inline if its batch fills."""
+        self.dispatch_filled(self.enqueue(query, default, payload))
+
+    def enqueue(self, query, default, payload: object = None):
+        """Add one query *without* dispatching; returns filled batches.
+
+        Split from :meth:`submit` so the service can enqueue under its
+        own lock (making "registered in-flight" and "visible to a
+        flush" one atomic step) and run the returned filled batches
+        after releasing it via :meth:`dispatch_filled`.
+        """
+        with self._cond:
+            self.coalescer.add(
+                query, default, arrival=self._clock(), payload=payload
+            )
+            full = self.coalescer.pop_full_entries()
+            self._cond.notify_all()
+        return full
+
+    def dispatch_filled(self, batches) -> int:
+        """Dispatch batches returned by :meth:`enqueue`."""
+        return self._run_batches(batches, "fill")
+
+    def pending_count(self) -> int:
+        with self._cond:
+            return self.coalescer.pending_count()
+
+    def next_deadline(self) -> float | None:
+        """When the oldest pending group becomes due (None: never)."""
+        if self.max_delay_s is None:
+            return None
+        with self._cond:
+            return self.coalescer.next_deadline(self.max_delay_s)
+
+    def poll(self, now: float | None = None) -> int:
+        """Dispatch every group whose deadline has expired.
+
+        Returns the number of batches dispatched.  Virtual-clock users
+        call this after advancing time; the background thread calls it
+        on every wake-up.
+        """
+        if self.max_delay_s is None:
+            return 0
+        with self._cond:
+            due = self.coalescer.pop_due_entries(
+                self._clock() if now is None else now, self.max_delay_s
+            )
+        return self._run_batches(due, "deadline")
+
+    def flush(self) -> int:
+        """Dispatch everything pending, deadlines notwithstanding."""
+        with self._cond:
+            batches = self.coalescer.drain_entries()
+        return self._run_batches(batches, "flush")
+
+    def discard_payloads(self, payloads) -> list[PendingQuery]:
+        """Remove entries carrying these payloads *without* dispatching.
+
+        The service's error paths use this to abandon a failed call's
+        still-queued lanes so they never execute as ghost work on an
+        unrelated caller's flush.
+        """
+        with self._cond:
+            batches = self.coalescer.pop_payload_entries(set(payloads))
+        return [entry for _, entries in batches for entry in entries]
+
+    def flush_payloads(self, payloads) -> int:
+        """Dispatch only the entries carrying these payloads.
+
+        The synchronous service path uses this so a ``query_batch``
+        call dispatches exactly what it is waiting on, without
+        force-dispatching other callers' deadline-scheduled partial
+        batches.
+        """
+        with self._cond:
+            batches = self.coalescer.pop_payload_entries(set(payloads))
+        return self._run_batches(batches, "flush")
+
+    def _run_batches(self, batches, kind: str) -> int:
+        """Dispatch every batch, even if an earlier one raises.
+
+        Batches were already popped from the coalescer: skipping the
+        rest on a failure would strand their submitters' futures
+        forever.  Each batch dispatches (the service fails its own
+        futures on error); the first error re-raises afterwards.
+        """
+        first_error: BaseException | None = None
+        for config, entries in batches:
+            try:
+                self._dispatch(config, entries)
+            except BaseException as error:
+                if first_error is None:
+                    first_error = error
+            with self._cond:
+                setattr(
+                    self.stats,
+                    f"{kind}_dispatches",
+                    getattr(self.stats, f"{kind}_dispatches") + 1,
+                )
+                self.stats.queries_dispatched += len(entries)
+        if first_error is not None:
+            raise first_error
+        return len(batches)
+
+    # ------------------------------------------------------------------
+    # Background-thread lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "BatchScheduler":
+        """Run the deadline loop in a daemon thread (idempotent).
+
+        Requires a real-time clock: ``Condition.wait`` elapses in real
+        seconds, so deadlines anchored on a manually advanced clock
+        would never fire and futures would hang.
+        """
+        if isinstance(self._clock, VirtualClock):
+            raise ConfigError(
+                "the background deadline loop needs a real-time clock; "
+                "with a VirtualClock, drive dispatch explicitly via "
+                "poll()/pump() after advancing time"
+            )
+        with self._cond:
+            if self._thread is not None:
+                return self
+            stop_event = threading.Event()
+            self._stop_event = stop_event
+            self._thread = threading.Thread(
+                target=self._loop,
+                args=(stop_event,),
+                name="ranking-batch-scheduler",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, flush: bool = True) -> None:
+        """Stop the loop; by default flush whatever is still queued."""
+        with self._cond:
+            thread = self._thread
+            stop_event = self._stop_event
+            self._thread = None
+            self._stop_event = None
+            if stop_event is not None:
+                stop_event.set()
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join()
+        if flush:
+            self.flush()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def _loop(self, stop_event: threading.Event) -> None:
+        while True:
+            with self._cond:
+                if stop_event.is_set():
+                    return
+                deadline = (
+                    None
+                    if self.max_delay_s is None
+                    else self.coalescer.next_deadline(self.max_delay_s)
+                )
+                timeout = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - self._clock())
+                )
+                if timeout is None or timeout > 0:
+                    self._cond.wait(timeout)
+                if stop_event.is_set():
+                    return
+            # One failing batch must not kill the loop: its futures
+            # already carry the error, and every other submitter still
+            # needs deadline dispatches to keep happening.
+            try:
+                self.poll()
+            except BaseException as error:
+                self.last_error = error

@@ -1,43 +1,58 @@
-"""The ranking service: cached, coalesced, batched top-k PageRank.
+"""The ranking service: cached, coalesced, scheduled, backend-executed.
 
 :class:`RankingService` is the façade production callers talk to.  One
-instance owns a graph and a partitioned ingress (built once — the paper
-excludes ingress from measurements and so does every repeated-run
-harness in this repository); each request flows through three stages:
+instance owns an :class:`~repro.serving.backend.ExecutionBackend`
+(which owns the graph's partitioned ingress — paid once, as the paper
+excludes ingress from measurements); each request flows through four
+stages:
 
 1. **cache** — estimates are immutable, so identical queries (same
-   seeds, weights and config) are served from the TTL/LRU cache without
-   touching the cluster;
+   seeds, weights, config and graph generation) are served from the
+   TTL/LRU cache without touching the cluster;
 2. **coalescing** — cache misses are grouped into config-pure batches
-   of at most ``max_batch_size`` queries;
-3. **batched execution** — each batch runs as one
-   :class:`~repro.core.batched.BatchedFrogWildRunner` traversal on a
-   fresh :class:`~repro.engine.ClusterState` sharing the service's
-   replication tables, so per-batch traffic/CPU/time accounting stays
-   clean while ingress is never re-paid.
+   of at most ``max_batch_size`` queries, duplicates collapsing onto
+   one in-flight lane;
+3. **scheduling** — :class:`~repro.serving.scheduler.BatchScheduler`
+   dispatches a batch the moment it fills *or* when its oldest query
+   has waited ``max_delay_s`` (the synchronous
+   :meth:`RankingService.query_batch` is just a zero-delay schedule:
+   submit, then flush);
+4. **backend execution** — the batch runs on the backend's cluster
+   layout: one shared traversal (:class:`~repro.serving.LocalBackend`)
+   or a shard fan-out with exact counter/ledger merging
+   (:class:`~repro.serving.ShardedBackend`).
 
 Answers carry their per-query *attributed* costs (what the query alone
-caused inside its batch, standalone-priced) so callers can meter users
-honestly even though the wire cost was amortized.
+caused inside its batch, standalone-priced, summed exactly across
+shards) so callers can meter users honestly even though the wire cost
+was amortized.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
-from ..cluster import CostModel, MessageSizeModel, ReplicationTable, make_partitioner
-from ..core import FrogWildConfig, run_personalized_frogwild_batch
-from ..engine import RunReport, build_cluster
-from ..errors import ConfigError
+from ..cluster import CostModel, MessageSizeModel
+from ..core import FrogWildConfig
+from ..engine import RunReport
+from ..errors import ConfigError, EngineError
 from ..graph import DiGraph
-from .batching import QueryCoalescer, RankingQuery
+from .backend import BatchOutcome, ExecutionBackend, LocalBackend, ShardedBackend
+from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import TTLCache
+from .scheduler import BatchScheduler
 
-__all__ = ["RankingAnswer", "ServiceStats", "RankingService"]
+__all__ = [
+    "RankingAnswer",
+    "RankingFuture",
+    "ServiceStats",
+    "RankingService",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +80,35 @@ class RankingAnswer:
         return self.report.total_time_s
 
 
+class RankingFuture:
+    """Handle to an asynchronously scheduled query's eventual answer."""
+
+    def __init__(self, query: RankingQuery) -> None:
+        self.query = query
+        self._event = threading.Event()
+        self._answer: RankingAnswer | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> RankingAnswer:
+        """Block until the answer is ready (or ``timeout`` elapses)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("ranking answer not ready yet")
+        if self._error is not None:
+            raise self._error
+        return self._answer  # type: ignore[return-value]
+
+    def _resolve(self, answer: RankingAnswer) -> None:
+        self._answer = answer
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
 @dataclass
 class ServiceStats:
     """Lifetime counters of one :class:`RankingService`."""
@@ -78,25 +122,61 @@ class ServiceStats:
     shared_network_bytes: int = 0
     simulated_time_s: float = 0.0
     batch_sizes: list[int] = field(default_factory=list)
+    # Per-shard cost partition, keyed by shard id (empty when the
+    # backend is unsharded).
+    shard_shared_bytes: dict[int, int] = field(default_factory=dict)
+    shard_attributed_bytes: dict[int, int] = field(default_factory=dict)
+    shard_cpu_seconds: dict[int, float] = field(default_factory=dict)
 
     def amortization_ratio(self) -> float:
-        """Actual wire bytes over standalone-priced bytes (<= 1)."""
+        """Actual wire bytes over standalone-priced bytes (<= 1).
+
+        Guarded for the zero-traversal case: a service that has served
+        only cache hits (or nothing at all) has amortized nothing, and
+        reports the neutral ratio 1.0 rather than dividing by zero.
+        """
         if self.attributed_network_bytes == 0:
             return 1.0
         return self.shared_network_bytes / self.attributed_network_bytes
 
-    def as_dict(self) -> dict[str, float]:
+    def mean_batch_size(self) -> float:
+        """Average executed batch size (0.0 before any traversal)."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def shard_breakdown(self) -> dict[int, dict[str, float]]:
+        """Per-shard cost partition (empty when unsharded)."""
         return {
+            shard: {
+                "shared_network_bytes": float(
+                    self.shard_shared_bytes.get(shard, 0)
+                ),
+                "attributed_network_bytes": float(
+                    self.shard_attributed_bytes.get(shard, 0)
+                ),
+                "cpu_seconds": self.shard_cpu_seconds.get(shard, 0.0),
+            }
+            for shard in sorted(self.shard_shared_bytes)
+        }
+
+    def as_dict(self) -> dict[str, float]:
+        row = {
             "queries_served": float(self.queries_served),
             "queries_executed": float(self.queries_executed),
             "batches_run": float(self.batches_run),
             "largest_batch": float(self.largest_batch),
+            "mean_batch_size": self.mean_batch_size(),
             "frogs_launched": float(self.frogs_launched),
             "attributed_network_bytes": float(self.attributed_network_bytes),
             "shared_network_bytes": float(self.shared_network_bytes),
             "simulated_time_s": self.simulated_time_s,
             "amortization_ratio": self.amortization_ratio(),
         }
+        for shard, costs in self.shard_breakdown().items():
+            for key, value in costs.items():
+                row[f"shard{shard}_{key}"] = value
+        return row
 
 
 @dataclass(frozen=True)
@@ -115,7 +195,7 @@ class RankingService:
     ----------
     graph:
         The served graph; ingress (partitioning + replication tables)
-        is paid once here.
+        is paid once inside the backend.
     config:
         Default :class:`FrogWildConfig` for queries that don't override.
     num_machines, partitioner, cost_model, size_model, seed:
@@ -125,7 +205,32 @@ class RankingService:
     cache_capacity, cache_ttl_s:
         TTL/LRU cache sizing; ``cache_capacity=0`` disables caching.
     clock:
-        Injectable time source for the cache (tests use a fake).
+        Injectable time source shared by the cache and the scheduler
+        (tests and benchmarks use a
+        :class:`~repro.serving.VirtualClock`).
+    backend:
+        Explicit :class:`~repro.serving.backend.ExecutionBackend`;
+        overrides ``num_shards``.
+    num_shards:
+        ``> 1`` builds a :class:`~repro.serving.ShardedBackend` that
+        splits the ``num_machines`` fleet into that many sub-clusters
+        and fans every batch out across them.
+    max_delay_s:
+        Deadline for the scheduled path (:meth:`submit`): a partial
+        batch dispatches once its oldest query has waited this long.
+        ``None`` disables deadline dispatch (batches leave on fill or
+        flush only).  The synchronous :meth:`query_batch` is unaffected
+        — it always flushes immediately.
+    generation:
+        Injectable graph-generation counter mixed into every cache key
+        (e.g. ``lambda: dynamic_graph.version``).  When the counter
+        moves, previously cached rankings stop matching and re-execute
+        — churn invalidation without TTL guesswork.  Note the scope:
+        this invalidates the *cache*; the service keeps serving the
+        graph snapshot its backend ingested at construction, so
+        re-executions price against that snapshot until the service is
+        rebuilt (refreshing the backend's ingress from a churned graph
+        is the ROADMAP's remaining churn slice).
     """
 
     def __init__(
@@ -141,27 +246,95 @@ class RankingService:
         size_model: MessageSizeModel | None = None,
         seed: int | None = 0,
         clock: Callable[[], float] | None = None,
+        backend: ExecutionBackend | None = None,
+        num_shards: int = 1,
+        max_delay_s: float | None = None,
+        generation: Callable[[], int] | None = None,
     ) -> None:
         if graph.num_vertices == 0:
             raise ConfigError("cannot serve an empty graph")
         self.graph = graph
         self.default_config = config or FrogWildConfig(seed=seed)
         self.num_machines = num_machines
-        self.cost_model = cost_model
-        self.size_model = size_model
         self.seed = seed
-        # Ingress: paid once per service, shared by every batch.
-        partition = make_partitioner(partitioner, seed).partition(
-            graph, num_machines
-        )
-        self.replication = ReplicationTable(graph, partition, seed=seed)
+        self.generation = generation
+        if backend is None:
+            if num_shards > 1:
+                backend = ShardedBackend(
+                    graph,
+                    num_shards=num_shards,
+                    num_machines=num_machines,
+                    partitioner=partitioner,
+                    cost_model=cost_model,
+                    size_model=size_model,
+                    seed=seed,
+                )
+            else:
+                backend = LocalBackend(
+                    graph,
+                    num_machines=num_machines,
+                    partitioner=partitioner,
+                    cost_model=cost_model,
+                    size_model=size_model,
+                    seed=seed,
+                )
+        self.backend = backend
+        self._clock = clock or time.monotonic
         self.cache: TTLCache | None = (
-            TTLCache(cache_capacity, cache_ttl_s, clock or time.monotonic)
+            TTLCache(cache_capacity, cache_ttl_s, self._clock)
             if cache_capacity > 0
             else None
         )
         self.coalescer = QueryCoalescer(max_batch_size)
+        self.scheduler = BatchScheduler(
+            self._execute_batch,
+            self.coalescer,
+            max_delay_s=max_delay_s,
+            clock=self._clock,
+        )
         self.stats = ServiceStats()
+        # Guards the cache, the stats and the in-flight dedup table
+        # against the scheduler thread; reentrant because a fill
+        # dispatch executes inline under the submitting call.
+        self._lock = threading.RLock()
+        self._inflight: dict[
+            Hashable, list[tuple[RankingQuery, RankingFuture]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RankingService":
+        """Run the deadline scheduler in a background thread."""
+        self.scheduler.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the scheduler thread, flushing pending queries."""
+        self.scheduler.stop(flush=True)
+
+    def __enter__(self) -> "RankingService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def pump(self) -> int:
+        """Dispatch deadline-expired batches now (virtual-clock mode)."""
+        return self.scheduler.poll()
+
+    def flush(self) -> int:
+        """Dispatch everything pending, deadlines notwithstanding."""
+        return self.scheduler.flush()
+
+    @property
+    def replication(self):
+        """The backend's replication tables (None when sharded)."""
+        return getattr(self.backend, "replication", None)
+
+    @property
+    def num_shards(self) -> int:
+        return self.backend.num_shards
 
     # ------------------------------------------------------------------
     # Public API
@@ -174,15 +347,7 @@ class RankingService:
         config: FrogWildConfig | None = None,
     ) -> RankingAnswer:
         """Synchronous single-query API (a batch of one)."""
-        request = RankingQuery(
-            seeds=tuple(np.atleast_1d(np.asarray(seeds)).tolist()),
-            k=k,
-            weights=None if weights is None else tuple(
-                np.atleast_1d(np.asarray(weights)).tolist()
-            ),
-            config=config,
-        )
-        return self.query_batch([request])[0]
+        return self.query_batch([self._make_query(seeds, k, weights, config)])[0]
 
     def query_batch(
         self, queries: Sequence[RankingQuery]
@@ -191,14 +356,81 @@ class RankingService:
 
         Cache hits are answered immediately; misses are coalesced into
         config-pure batches (duplicates within the call collapse into
-        one population) and executed through shared traversals.
+        one population) and executed through the backend right away —
+        the synchronous path is a zero-delay schedule: submit all, then
+        flush.
         """
         if not queries:
             return []
-        default = self.default_config
         # Validate the whole batch before touching cache or coalescer:
         # one malformed query must fail the call atomically, not abort
         # mid-drain with its batchmates' work half done.
+        self._validate(queries)
+        submitted: list[tuple[RankingFuture, Hashable]] = []
+        try:
+            for query in queries:
+                submitted.append(self._submit_validated(query))
+            # Flush only this call's own lanes: other callers'
+            # deadline-scheduled partial batches keep accumulating.
+            self.scheduler.flush_payloads(key for _, key in submitted)
+        except BaseException as error:
+            # Restore the old drain's atomic failure semantics: lanes
+            # of this call still queued (e.g. after a fill dispatch
+            # raised mid-submission) are abandoned, never left behind
+            # to execute as ghost work on someone else's flush.
+            abandoned = self.scheduler.discard_payloads(
+                [key for _, key in submitted]
+            )
+            with self._lock:
+                waiters = [
+                    waiter
+                    for entry in abandoned
+                    for waiter in self._inflight.pop(entry.payload, [])
+                ]
+            for _, future in waiters:
+                future._fail(error)
+            raise
+        return [future.result() for future, _ in submitted]
+
+    def submit(
+        self,
+        seeds: Sequence[int] | np.ndarray,
+        k: int = 10,
+        weights: Sequence[float] | np.ndarray | None = None,
+        config: FrogWildConfig | None = None,
+    ) -> RankingFuture:
+        """Schedule one query; returns a future resolved on dispatch."""
+        return self.submit_query(self._make_query(seeds, k, weights, config))
+
+    def submit_query(self, query: RankingQuery) -> RankingFuture:
+        """Schedule one normalized query through the batch scheduler.
+
+        Cache hits resolve immediately; misses wait until their batch
+        fills, their deadline expires (requires a started scheduler or
+        explicit :meth:`pump` calls), or the service is flushed.
+        """
+        self._validate([query])
+        future, _ = self._submit_validated(query)
+        return future
+
+    def cache_stats(self) -> dict[str, float]:
+        """The cache's counters (empty dict when caching is disabled)."""
+        return {} if self.cache is None else self.cache.stats.as_dict()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_query(self, seeds, k, weights, config) -> RankingQuery:
+        return RankingQuery(
+            seeds=tuple(np.atleast_1d(np.asarray(seeds)).tolist()),
+            k=k,
+            weights=None if weights is None else tuple(
+                np.atleast_1d(np.asarray(weights)).tolist()
+            ),
+            config=config,
+        )
+
+    def _validate(self, queries: Sequence[RankingQuery]) -> None:
         num_vertices = self.graph.num_vertices
         for query in queries:
             if max(query.seeds) >= num_vertices:
@@ -206,58 +438,127 @@ class RankingService:
                     f"seed ids out of range for a {num_vertices}-vertex "
                     f"graph: {query.seeds}"
                 )
-        answers: list[RankingAnswer | None] = [None] * len(queries)
-        positions: dict[object, list[int]] = {}
-        for index, query in enumerate(queries):
-            key = query.cache_key(default)
+
+    def _cache_key(self, query: RankingQuery) -> Hashable:
+        """Cache identity: the query's key plus the graph generation.
+
+        With an injected generation counter, a churned graph bumps the
+        counter and every previously cached ranking silently misses —
+        invalidation is exact instead of a TTL guess.
+        """
+        base = query.cache_key(self.default_config)
+        if self.generation is None:
+            return base
+        return (int(self.generation()), base)
+
+    def _submit_validated(
+        self, query: RankingQuery
+    ) -> tuple[RankingFuture, Hashable]:
+        """Submit one validated query; returns (future, cache key)."""
+        future = RankingFuture(query)
+        with self._lock:
+            key = self._cache_key(query)
             entry = None if self.cache is None else self.cache.get(key)
             if entry is not None:
-                answers[index] = self._answer(query, entry, cached=True)
-                continue
-            # First miss of a key enqueues it; duplicates just wait.
-            if key not in positions:
-                self.coalescer.add(query, default)
-            positions.setdefault(key, []).append(index)
-
-        for config, batch in self.coalescer.drain():
-            result = run_personalized_frogwild_batch(
-                self.graph,
-                [np.asarray(query.seeds, dtype=np.int64) for query in batch],
-                config,
-                weights=[
-                    None
-                    if query.weights is None
-                    else np.asarray(query.weights, dtype=np.float64)
-                    for query in batch
-                ],
-                state=self._fresh_state(),
+                # queries_served counts *answered* queries (a failed
+                # execution never inflates it), so it ticks at resolve
+                # time here and in _execute_batch.
+                self.stats.queries_served += 1
+                future._resolve(self._answer(query, entry, cached=True))
+                return future, key
+            waiters = self._inflight.get(key)
+            if waiters is not None:
+                # A duplicate of an already queued query: ride its lane.
+                waiters.append((query, future))
+                return future, key
+            self._inflight[key] = [(query, future)]
+            # Enqueue under the same lock that registered the in-flight
+            # entry: a concurrent duplicate's flush must find either
+            # the queued entry or a dispatch already in progress, never
+            # a gap it would block on forever.
+            full = self.scheduler.enqueue(
+                query, self.default_config, payload=key
             )
-            self.stats.batches_run += 1
-            self.stats.batch_sizes.append(len(batch))
-            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-            self.stats.queries_executed += len(batch)
-            self.stats.shared_network_bytes += result.report.network_bytes
-            self.stats.simulated_time_s += result.report.total_time_s
-            for query, lane in zip(batch, result.results):
-                entry = _CacheEntry(
-                    estimate=lane.estimate,
-                    report=lane.report,
-                    batch_size=len(batch),
+        self.scheduler.dispatch_filled(full)
+        return future, key
+
+    def _execute_batch(
+        self, config: FrogWildConfig, entries: list[PendingQuery]
+    ) -> None:
+        """Scheduler dispatch target: run one config-pure batch."""
+        queries = [entry.query for entry in entries]
+        resolved: list[tuple[RankingQuery, RankingFuture, _CacheEntry]] = []
+        try:
+            outcome = self.backend.run_batch(config, queries)
+            if len(outcome.lanes) != len(queries):
+                raise EngineError(
+                    f"backend answered {len(outcome.lanes)} lanes for "
+                    f"{len(queries)} queries; the ExecutionBackend "
+                    "contract requires lanes[i] to answer queries[i]"
                 )
-                self.stats.frogs_launched += lane.estimate.num_frogs
-                self.stats.attributed_network_bytes += lane.report.network_bytes
-                key = query.cache_key(default)
-                if self.cache is not None:
-                    self.cache.put(key, entry)
-                for index in positions[key]:
-                    answers[index] = self._answer(
-                        queries[index], entry, cached=False
+            with self._lock:
+                self._record_outcome(outcome, len(entries))
+                for entry, lane in zip(entries, outcome.lanes):
+                    cached = _CacheEntry(
+                        estimate=lane.estimate,
+                        report=lane.report,
+                        batch_size=len(entries),
                     )
+                    self.stats.frogs_launched += lane.estimate.num_frogs
+                    self.stats.attributed_network_bytes += (
+                        lane.report.network_bytes
+                    )
+                    if self.cache is not None:
+                        self.cache.put(entry.payload, cached)
+                    for query, future in self._inflight.pop(
+                        entry.payload, []
+                    ):
+                        resolved.append((query, future, cached))
+        except BaseException as error:
+            # Fail every future this batch owes an answer to — both
+            # the keys not yet popped from the in-flight table and any
+            # popped-but-unresolved waiters — so nothing ever hangs on
+            # a dead lane and the dedup table never poisons.
+            with self._lock:
+                waiters = [
+                    (query, future)
+                    for entry in entries
+                    for query, future in self._inflight.pop(
+                        entry.payload, []
+                    )
+                ]
+            for query, future, _ in resolved:
+                future._fail(error)
+            for _, future in waiters:
+                future._fail(error)
+            raise
+        with self._lock:
+            self.stats.queries_served += len(resolved)
+        for query, future, cached in resolved:
+            future._resolve(self._answer(query, cached, cached=False))
 
-        self.stats.queries_served += len(queries)
-        return answers  # type: ignore[return-value]
+    def _record_outcome(self, outcome: BatchOutcome, batch_size: int) -> None:
+        stats = self.stats
+        stats.batches_run += 1
+        stats.batch_sizes.append(batch_size)
+        stats.largest_batch = max(stats.largest_batch, batch_size)
+        stats.queries_executed += batch_size
+        stats.shared_network_bytes += outcome.shared_network_bytes
+        stats.simulated_time_s += outcome.simulated_time_s
+        for cost in outcome.shards:
+            stats.shard_shared_bytes[cost.shard] = (
+                stats.shard_shared_bytes.get(cost.shard, 0)
+                + cost.shared_network_bytes
+            )
+            stats.shard_attributed_bytes[cost.shard] = (
+                stats.shard_attributed_bytes.get(cost.shard, 0)
+                + cost.attributed_network_bytes
+            )
+            stats.shard_cpu_seconds[cost.shard] = (
+                stats.shard_cpu_seconds.get(cost.shard, 0.0)
+                + cost.cpu_seconds
+            )
 
-    # ------------------------------------------------------------------
     def _answer(
         self, query: RankingQuery, entry: _CacheEntry, cached: bool
     ) -> RankingAnswer:
@@ -270,18 +571,3 @@ class RankingService:
             batch_size=entry.batch_size,
             report=entry.report,
         )
-
-    def _fresh_state(self):
-        """A fresh accounting state over the shared ingress."""
-        return build_cluster(
-            self.graph,
-            self.num_machines,
-            cost_model=self.cost_model,
-            size_model=self.size_model,
-            seed=self.seed,
-            replication=self.replication,
-        )
-
-    def cache_stats(self) -> dict[str, float]:
-        """The cache's counters (empty dict when caching is disabled)."""
-        return {} if self.cache is None else self.cache.stats.as_dict()

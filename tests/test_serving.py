@@ -122,6 +122,24 @@ class TestCoalescer:
         with pytest.raises(ConfigError):
             RankingQuery(seeds=(-1,))
 
+    def test_degenerate_weights_fail_at_construction(self):
+        """A bad restart law must never reach dispatch: zero-mass or
+        negative weights fail when the query is built (mirroring
+        seed_distribution), so a batch cannot blow up mid-traversal on
+        behalf of one malformed batchmate."""
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(3,), weights=(0.0,))
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(3, 4), weights=(1.0, -0.5))
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(3,), weights=(float("nan"),))
+        with pytest.raises(ConfigError):
+            RankingQuery(seeds=(3, 4), weights=(float("inf"), 1.0))
+        # A valid skewed law still constructs.
+        assert RankingQuery(seeds=(3, 4), weights=(0.0, 2.0)).weights == (
+            0.0, 2.0,
+        )
+
     def test_cache_key_ignores_k_but_not_config(self):
         default = FrogWildConfig(seed=0)
         other = FrogWildConfig(num_frogs=123, seed=0)
@@ -256,3 +274,134 @@ class TestRankingService:
         second = make_service(graph).query([8, 13], k=7)
         np.testing.assert_array_equal(first.vertices, second.vertices)
         np.testing.assert_array_equal(first.scores, second.scores)
+
+
+class TestBackendContract:
+    def test_lane_count_mismatch_fails_loudly_and_cleans_up(self, graph):
+        """A backend that answers the wrong number of lanes must fail
+        the call (and its futures) rather than silently truncating —
+        and must not poison the in-flight dedup table."""
+        from repro.errors import EngineError
+        from repro.serving import BatchOutcome
+
+        class TruncatingBackend:
+            num_shards = 1
+
+            def run_batch(self, config, queries):
+                return BatchOutcome(
+                    lanes=(), shared_network_bytes=0, simulated_time_s=0.0
+                )
+
+        service = make_service(graph, backend=TruncatingBackend())
+        with pytest.raises(EngineError):
+            service.query_batch([RankingQuery(seeds=(1,))])
+        assert service._inflight == {}
+        # The service recovers once a working backend is swapped in.
+        from repro.serving import LocalBackend
+
+        service.backend = LocalBackend(graph, num_machines=4, seed=0)
+        assert service.query([1]).vertices.size > 0
+
+
+class TestAtomicFailure:
+    def test_fill_dispatch_error_abandons_the_calls_other_lanes(self, graph):
+        """If a filled batch's dispatch raises mid-query_batch, the
+        call's other already-enqueued lanes are abandoned (futures
+        failed, coalescer and in-flight table clean) — no ghost work
+        rides a later caller's flush."""
+        from repro.serving import LocalBackend
+
+        real = LocalBackend(graph, num_machines=4, seed=0)
+
+        class Exploding:
+            num_shards = 1
+
+            def __init__(self):
+                self.armed = True
+
+            def run_batch(self, config, queries):
+                if self.armed:
+                    raise RuntimeError("backend down")
+                return real.run_batch(config, queries)
+
+        backend = Exploding()
+        other = FrogWildConfig(num_frogs=300, iterations=2, seed=0)
+        service = make_service(graph, backend=backend, max_batch_size=2)
+        queries = [
+            RankingQuery(seeds=(1,), config=other),  # partial group
+            RankingQuery(seeds=(2,)),
+            RankingQuery(seeds=(3,)),  # fills the default group -> boom
+        ]
+        with pytest.raises(RuntimeError, match="backend down"):
+            service.query_batch(queries)
+        assert service.coalescer.pending_count() == 0
+        assert service._inflight == {}
+        # Recovery: the same queries execute cleanly once the backend heals.
+        backend.armed = False
+        answers = service.query_batch(queries)
+        assert [a.query.seeds[0] for a in answers] == [1, 2, 3]
+
+
+class TestGenerationInvalidation:
+    """Graph-generation counters as the cache's invalidation clock."""
+
+    def test_version_bump_invalidates_cached_rankings(self, graph):
+        from repro.dynamic import DynamicDiGraph
+
+        dynamic = DynamicDiGraph.from_digraph(graph)
+        service = make_service(graph, generation=lambda: dynamic.version)
+        first = service.query([5])
+        assert not first.cached
+        assert service.query([5]).cached
+        # Churn: the tracked graph moves, cached rankings must not serve.
+        dynamic.add_edges([(1, 2)])
+        stale = service.query([5])
+        assert not stale.cached
+        assert service.stats.queries_executed == 2
+        # The new generation caches independently.
+        assert service.query([5]).cached
+
+    def test_stable_generation_keeps_cache_hot(self, graph):
+        service = make_service(graph, generation=lambda: 7)
+        service.query([4])
+        assert service.query([4]).cached
+        assert service.stats.queries_executed == 1
+
+    def test_no_generation_means_plain_keys(self, graph):
+        service = make_service(graph)
+        query = RankingQuery(seeds=(3,))
+        assert service._cache_key(query) == query.cache_key(
+            service.default_config
+        )
+
+
+class TestServiceStatsGuards:
+    def test_zero_traversal_stats_are_well_defined(self, graph):
+        """A service that has executed nothing reports neutral numbers
+        from every stats accessor — no division by zero."""
+        service = make_service(graph)
+        stats = service.stats
+        assert stats.amortization_ratio() == 1.0
+        assert stats.mean_batch_size() == 0.0
+        assert stats.shard_breakdown() == {}
+        row = stats.as_dict()
+        assert row["amortization_ratio"] == 1.0
+        assert row["mean_batch_size"] == 0.0
+        assert not any(key.startswith("shard") for key in row)
+
+    def test_cache_only_service_keeps_neutral_ratio(self, graph):
+        service = make_service(graph)
+        service.query([2])
+        service.query([2])  # pure cache hit: no new traversal
+        row = service.stats.as_dict()
+        assert row["queries_served"] == 2.0
+        assert row["queries_executed"] == 1.0
+        assert 0.0 < row["amortization_ratio"] <= 1.0
+        assert row["mean_batch_size"] == 1.0
+
+    def test_unsharded_as_dict_has_no_shard_keys(self, graph):
+        service = make_service(graph)
+        service.query([1])
+        assert not any(
+            key.startswith("shard") for key in service.stats.as_dict()
+        )
