@@ -19,6 +19,11 @@ Two baselines are measured on a Graph500-style RMAT workload:
   which the batched runner must still win.
 
 Run directly: ``python -m pytest benchmarks/bench_serving.py -q``.
+
+The headline numbers (wall times, amortization ratio) are persisted as
+machine-readable records via :func:`repro.experiments.record_perf`
+(``BENCH_serving.json``; override with ``REPRO_PERF_PATH``) so future
+changes have a trajectory to compare against, not just a green check.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.core import (
 )
 from repro.cluster import ReplicationTable, make_partitioner
 from repro.engine import build_cluster
+from repro.experiments import record_perf
 from repro.graph import rmat
 from repro.serving import RankingQuery, RankingService, VirtualClock
 
@@ -129,6 +135,15 @@ def test_batched_beats_sequential_wall_clock(workload):
         f"\nsequential {sequential_s:.3f}s  batched {batched_s:.3f}s  "
         f"ratio {ratio:.3f}"
     )
+    record_perf(
+        "serving-batched-vs-sequential",
+        {
+            "sequential_s": sequential_s,
+            "batched_s": batched_s,
+            "wall_clock_ratio": ratio,
+            "batch_size": BATCH,
+        },
+    )
     assert ratio < 0.5, (
         f"batched execution took {ratio:.2f}x of sequential "
         f"({batched_s:.3f}s vs {sequential_s:.3f}s); the amortization "
@@ -192,6 +207,14 @@ def test_batch_amortizes_simulated_network(workload):
         f"\nshared {batched.report.network_bytes:,} bytes vs "
         f"attributed {attributed:,} bytes "
         f"(amortization {batched.amortization_ratio():.3f})"
+    )
+    record_perf(
+        "serving-network-amortization",
+        {
+            "shared_network_bytes": batched.report.network_bytes,
+            "attributed_network_bytes": attributed,
+            "amortization_ratio": batched.amortization_ratio(),
+        },
     )
 
 

@@ -19,8 +19,12 @@ Subpackages: :mod:`repro.graph` (CSR graphs and generators),
 :mod:`repro.engine` (the GAS/BSP engine and the ``ps`` sync patch),
 :mod:`repro.core` (FrogWild itself), :mod:`repro.pagerank` (baselines),
 :mod:`repro.metrics`, :mod:`repro.theory`,
-:mod:`repro.experiments` (per-figure reproduction harness) and
-:mod:`repro.apps` (keyword extraction, influencer and churn analyses).
+:mod:`repro.experiments` (per-figure reproduction harness),
+:mod:`repro.apps` (keyword extraction, influencer and churn analyses),
+:mod:`repro.serving` (the batched/sharded top-k ranking service),
+:mod:`repro.dynamic` (churn generation and tracking) and
+:mod:`repro.live` (incremental ingress maintenance and epoch-swapped
+serving of a churning graph).
 """
 
 from .cluster import CostModel, MessageSizeModel

@@ -22,6 +22,9 @@ Subcommands
 ``serve-bench``
     Benchmark the batched top-k serving layer against sequential
     single-query execution, then demonstrate the result cache.
+``live-bench``
+    Drive a churn stream against the live ranking service: incremental
+    ingress maintenance, epoch swaps, exact cache invalidation.
 """
 
 from __future__ import annotations
@@ -95,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--partitioner",
-        choices=("random", "oblivious", "grid", "hdrf"),
+        choices=("random", "oblivious", "grid", "hdrf", "stable-hash"),
         default="random",
     )
     run.add_argument("--frogs", type=int, default=None)
@@ -224,6 +227,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--top-k", type=int, default=10)
     serve.add_argument("--seed", type=int, default=0)
+
+    live = sub.add_parser(
+        "live-bench",
+        help="serve a churning graph: incremental refresh + epoch swaps",
+    )
+    live.add_argument(
+        "--workload", choices=("twitter", "livejournal"), default="twitter"
+    )
+    live.add_argument("--edge-list")
+    live.add_argument("--n", type=int, default=2_000)
+    live.add_argument("--ticks", type=int, default=4,
+                      help="churn batches to apply (one refresh each)")
+    live.add_argument("--add-rate", type=float, default=0.01)
+    live.add_argument("--remove-rate", type=float, default=0.01)
+    live.add_argument("--queries", type=int, default=6,
+                      help="personalized queries re-served every epoch")
+    live.add_argument("--seeds-per-query", type=int, default=2)
+    live.add_argument("--frogs", type=int, default=2_000)
+    live.add_argument("--iterations", type=int, default=4)
+    live.add_argument("--machines", type=int, default=8)
+    live.add_argument(
+        "--shards", type=int, default=None,
+        help="shard sub-clusters (default: autotuned from fleet and "
+             "frog budget)",
+    )
+    live.add_argument(
+        "--rebalance-threshold", type=float, default=2.0,
+        help="load-imbalance bound triggering a full re-salted "
+             "repartition",
+    )
+    live.add_argument("--top-k", type=int, default=10)
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument(
+        "--save-json", metavar="PATH",
+        help="merge a machine-readable perf record into this JSON file "
+             "(default name BENCH_serving.json)",
+    )
 
     chart = sub.add_parser(
         "chart", help="render a saved figure JSON as an ASCII chart"
@@ -658,6 +698,129 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_live_bench(args) -> int:
+    import numpy as np
+
+    from .core import top_k_jaccard
+    from .dynamic import ChurnGenerator, DynamicDiGraph
+    from .experiments import format_table
+    from .live import LiveRankingService
+    from .serving import RankingQuery
+
+    base = _load_graph(args)
+    dynamic = DynamicDiGraph.from_digraph(base)
+    config = FrogWildConfig(
+        num_frogs=args.frogs, iterations=args.iterations, seed=args.seed
+    )
+    service = LiveRankingService(
+        dynamic,
+        config=config,
+        num_machines=args.machines,
+        num_shards=args.shards,
+        rebalance_threshold=args.rebalance_threshold,
+        seed=args.seed,
+    )
+    churn = ChurnGenerator(
+        add_rate=args.add_rate, remove_rate=args.remove_rate, seed=args.seed
+    )
+    rng = np.random.default_rng(args.seed)
+    queries = [
+        RankingQuery(
+            seeds=tuple(
+                np.sort(rng.choice(
+                    base.num_vertices, size=args.seeds_per_query,
+                    replace=False,
+                )).tolist()
+            ),
+            k=args.top_k,
+        )
+        for _ in range(args.queries)
+    ]
+
+    layout = (
+        f"{service.num_shards} shards x "
+        f"{service._machines_per_ingress} machines"
+        if service.num_shards > 1
+        else f"{args.machines} machines"
+    )
+    print(
+        f"live workload: {base.num_vertices:,} vertices, "
+        f"{base.num_edges:,} edges on {layout}"
+    )
+
+    start = time.perf_counter()
+    rows = []
+    previous_tops: list | None = None
+    for _ in range(args.ticks + 1):
+        answers = service.query_batch(queries)
+        replays = service.query_batch(queries)
+        tops = [answer.vertices for answer in answers]
+        stability = (
+            float(np.mean([
+                top_k_jaccard(old, new)
+                for old, new in zip(previous_tops, tops)
+            ]))
+            if previous_tops is not None
+            else 1.0
+        )
+        previous_tops = tops
+        epoch = service.current_epoch
+        rows.append({
+            "epoch": epoch.epoch_id,
+            "edges": epoch.num_edges,
+            "reuse": (
+                service.refresh_history[-1].reuse_ratio
+                if service.refresh_history else 1.0
+            ),
+            "new place": (
+                service.refresh_history[-1].new_placements
+                if service.refresh_history else epoch.num_edges
+            ),
+            "imbalance": (
+                service.refresh_history[-1].load_imbalance
+                if service.refresh_history
+                else max(i.load_imbalance() for i in service.ingresses)
+            ),
+            "jaccard": stability,
+            "replay hit": all(a.cached for a in replays),
+        })
+        if len(rows) <= args.ticks:
+            service.refresh(churn.step(dynamic))
+    wall_s = time.perf_counter() - start
+
+    print(format_table(
+        rows, title=f"live top-{args.top_k} serving under churn"
+    ))
+    live = service.live_stats()
+    stats = service.stats
+    print(f"epochs published          : {int(live['epochs_published'])}")
+    print(f"lifetime placement reuse  : {live['lifetime_reuse_ratio']:.4f}")
+    print(f"full repartitions         : {int(live['full_repartitions'])}")
+    print(f"queries served / executed : {stats.queries_served} / "
+          f"{stats.queries_executed}")
+    print(f"amortization ratio        : {stats.amortization_ratio():.3f}")
+    print(f"batches per epoch         : "
+          f"{dict(sorted(service.epochs.batches_per_epoch.items()))}")
+    print(f"wall time                 : {wall_s:.3f} s")
+    if args.save_json:
+        from .experiments import record_perf
+
+        path = record_perf(
+            "live-bench",
+            {
+                "wall_time_s": wall_s,
+                "ticks": args.ticks,
+                "epochs_published": live["epochs_published"],
+                "lifetime_reuse_ratio": live["lifetime_reuse_ratio"],
+                "amortization_ratio": stats.amortization_ratio(),
+                "queries_executed": stats.queries_executed,
+            },
+            path=args.save_json,
+        )
+        print(f"perf record merged into {path}")
+    return 0
+
+
 def _cmd_chart(args) -> int:
     from .experiments import load_figure_json
     from .viz import figure_chart
@@ -687,6 +850,7 @@ _COMMANDS = {
     "track": _cmd_track,
     "faults": _cmd_faults,
     "serve-bench": _cmd_serve_bench,
+    "live-bench": _cmd_live_bench,
     "chart": _cmd_chart,
 }
 

@@ -10,8 +10,10 @@ from .partition import (
     ObliviousVertexCut,
     Partitioner,
     RandomVertexCut,
+    StableHashVertexCut,
     grid_shape,
     make_partitioner,
+    stable_hash_machines,
 )
 from .replication import ReplicationTable
 
@@ -27,6 +29,8 @@ __all__ = [
     "ObliviousVertexCut",
     "GridVertexCut",
     "HdrfVertexCut",
+    "StableHashVertexCut",
+    "stable_hash_machines",
     "grid_shape",
     "make_partitioner",
     "ReplicationTable",

@@ -25,6 +25,14 @@ Four ingress strategies are implemented:
   replication on hubs.  Power-law graphs get markedly lower replication
   factors, which directly shrinks the sync traffic FrogWild's ``ps``
   patch attacks.
+* :class:`StableHashVertexCut` — placement by a deterministic hash of
+  the edge's endpoint pair (SplitMix64-mixed).  Statistically equivalent
+  to :class:`RandomVertexCut` but *stable across snapshots*: the same
+  edge lands on the same machine no matter which other edges exist, so
+  a churning graph only pays ingress for edges that actually changed.
+  This is the placement primitive behind
+  :class:`~repro.dynamic.PageRankTracker` and the incremental refresh
+  subsystem in :mod:`repro.live`.
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ __all__ = [
     "ObliviousVertexCut",
     "GridVertexCut",
     "HdrfVertexCut",
+    "StableHashVertexCut",
+    "stable_hash_machines",
     "make_partitioner",
     "grid_shape",
 ]
@@ -308,11 +318,71 @@ class HdrfVertexCut(Partitioner):
         return EdgePartition(placement, num_machines)
 
 
+def _mix64(keys: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: deterministic high-quality 64-bit mixing."""
+    z = keys.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+    return z
+
+
+def stable_hash_machines(
+    keys: np.ndarray, num_machines: int, seed: int | None = 0
+) -> np.ndarray:
+    """Machine of each edge key under the stable endpoint-pair hash.
+
+    ``keys`` are ``source * num_vertices + target`` edge identifiers (the
+    canonical key encoding used by :class:`~repro.dynamic.DynamicDiGraph`).
+    The result depends only on ``(key, seed)`` — never on which other
+    edges exist — which is exactly the property incremental ingress
+    maintenance needs: an edge that survives churn keeps its machine.
+    ``seed=None`` degrades to seed 0 (the hash has no entropy source).
+    """
+    if num_machines < 1:
+        raise PartitionError("num_machines must be positive")
+    keys = np.asarray(keys).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        salted = keys + np.uint64(
+            (seed or 0) % (1 << 63)
+        ) * np.uint64(0x5851F42D4C957F2D)
+    hashed = _mix64(salted)
+    return (hashed % np.uint64(num_machines)).astype(np.int32)
+
+
+class StableHashVertexCut(Partitioner):
+    """Vertex-cut placement by deterministic endpoint-pair hash.
+
+    Deterministic in ``(source, target, seed)``: the same edge always
+    lands on the same machine, across snapshots, insertions and
+    deletions — the property incremental ingress needs.  Statistically
+    equivalent to :class:`RandomVertexCut` (uniform, independent
+    placements).
+    """
+
+    name = "stable-hash"
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._seed = seed
+
+    def partition(self, graph: DiGraph, num_machines: int) -> EdgePartition:
+        _validate(graph, num_machines)
+        n = graph.num_vertices
+        keys = graph.edge_sources().astype(np.int64) * n + graph.indices
+        return EdgePartition(
+            stable_hash_machines(keys, num_machines, self._seed),
+            num_machines,
+        )
+
+
 _PARTITIONERS: dict[str, type[Partitioner]] = {
     "random": RandomVertexCut,
     "oblivious": ObliviousVertexCut,
     "grid": GridVertexCut,
     "hdrf": HdrfVertexCut,
+    "stable-hash": StableHashVertexCut,
 }
 
 

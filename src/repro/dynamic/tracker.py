@@ -26,7 +26,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..cluster import CostModel, EdgePartition, MessageSizeModel
+from ..cluster import (
+    CostModel,
+    EdgePartition,
+    MessageSizeModel,
+    stable_hash_machines,
+)
 from ..core import FrogWildConfig, FrogWildRunner, top_k_jaccard
 from ..engine import build_cluster
 from ..errors import ConfigError
@@ -38,39 +43,27 @@ from .graph import DynamicDiGraph, GraphDelta
 __all__ = ["TrackerUpdate", "PageRankTracker", "stable_hash_partition"]
 
 
-def _mix64(keys: np.ndarray) -> np.ndarray:
-    """SplitMix64 finalizer: deterministic high-quality 64-bit mixing."""
-    z = keys.astype(np.uint64, copy=True)
-    with np.errstate(over="ignore"):
-        z += np.uint64(0x9E3779B97F4A7C15)
-        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-        z ^= z >> np.uint64(31)
-    return z
-
-
 def stable_hash_partition(
     graph: DiGraph, num_machines: int, seed: int = 0
 ) -> EdgePartition:
     """Vertex-cut placement by endpoint-pair hash.
 
+    Thin wrapper over :func:`~repro.cluster.stable_hash_machines` (the
+    primitive now lives in the cluster layer, also registered with
+    :func:`~repro.cluster.make_partitioner` as ``"stable-hash"``).
     Deterministic in ``(source, target, seed)``: the same edge always
     lands on the same machine, across snapshots, insertions and
-    deletions — the property incremental ingress needs.  Statistically
-    equivalent to :class:`~repro.cluster.RandomVertexCut` (uniform,
-    independent placements).
+    deletions — the property incremental ingress needs.  Unlike the
+    registered partitioner this wrapper accepts edgeless graphs (a
+    churned-to-empty snapshot still has a well-defined, empty ingress).
     """
     if num_machines < 1:
         raise ConfigError("num_machines must be positive")
     n = graph.num_vertices
-    keys = (graph.edge_sources() * n + graph.indices).astype(np.uint64)
-    with np.errstate(over="ignore"):
-        salted = keys + np.uint64(seed % (1 << 63)) * np.uint64(
-            0x5851F42D4C957F2D
-        )
-    hashed = _mix64(salted)
-    placement = (hashed % np.uint64(num_machines)).astype(np.int32)
-    return EdgePartition(placement, num_machines)
+    keys = graph.edge_sources().astype(np.int64) * n + graph.indices
+    return EdgePartition(
+        stable_hash_machines(keys, num_machines, seed), num_machines
+    )
 
 
 @dataclass(frozen=True)

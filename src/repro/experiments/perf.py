@@ -1,0 +1,79 @@
+"""Machine-readable perf records for the serving benchmarks.
+
+The serving benchmarks assert relative claims (batched < 0.5x
+sequential, reuse >= 0.8) but until now threw the absolute numbers
+away.  :func:`record_perf` persists them: each benchmark merges one
+named record into a single JSON file (``BENCH_serving.json`` at the
+repository root by default, overridable via the ``REPRO_PERF_PATH``
+environment variable), so successive runs — and successive PRs — have
+a trajectory to compare against instead of a green checkmark.
+
+The file maps record names to flat metric dicts plus a wall-clock
+timestamp.  Corrupt or foreign content is replaced rather than crashing
+a benchmark run; perf recording must never be the reason a bench fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["default_perf_path", "record_perf", "load_perf"]
+
+_ENV_VAR = "REPRO_PERF_PATH"
+_DEFAULT_NAME = "BENCH_serving.json"
+
+
+def default_perf_path() -> Path:
+    """Where perf records go: ``$REPRO_PERF_PATH`` or CWD-rooted file."""
+    return Path(os.environ.get(_ENV_VAR, _DEFAULT_NAME))
+
+
+def load_perf(path: str | Path | None = None) -> dict[str, dict]:
+    """Read the record file; missing or corrupt files read as empty."""
+    path = Path(path) if path is not None else default_perf_path()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    return {
+        name: record
+        for name, record in payload.items()
+        if isinstance(record, dict)
+    }
+
+
+def record_perf(
+    name: str,
+    metrics: dict[str, float],
+    path: str | Path | None = None,
+) -> Path:
+    """Merge one named metric record into the perf file and return it.
+
+    Existing records under other names are preserved; the named record
+    is replaced wholesale and stamped with ``recorded_unix``.
+    """
+    path = Path(path) if path is not None else default_perf_path()
+    records = load_perf(path)
+    records[name] = {
+        **{key: _jsonable(value) for key, value in metrics.items()},
+        "recorded_unix": round(time.time(), 3),
+    }
+    path.write_text(
+        json.dumps(records, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other numerics to plain JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):
+        return value.item()
+    return float(value)

@@ -46,6 +46,7 @@ from .backend import (
     QueryOutcome,
     ShardCost,
     ShardedBackend,
+    choose_num_shards,
 )
 from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import CacheStats, TTLCache
@@ -69,6 +70,7 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "ShardedBackend",
+    "choose_num_shards",
     "BatchScheduler",
     "SchedulerStats",
     "VirtualClock",

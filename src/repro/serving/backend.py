@@ -22,8 +22,11 @@ backends ship:
   bytes partition exactly across shards.
 
 Both expose the same contract, so the service, the scheduler, the CLI
-and the benchmarks are layout-agnostic; churn invalidation and wire
-dedupe (ROADMAP) plug into this seam next.
+and the benchmarks are layout-agnostic.  The seam is also where the
+live layer plugs in: :class:`repro.live.EpochManager` is an
+atomically swappable backend *proxy* that lets a refreshed graph
+replace either layout between batches.  Wire dedupe (ROADMAP) plugs in
+here next.
 """
 
 from __future__ import annotations
@@ -59,7 +62,42 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "ShardedBackend",
+    "choose_num_shards",
 ]
+
+
+def choose_num_shards(
+    num_machines: int,
+    replication: int = 4,
+    num_frogs: int | None = None,
+    min_frogs_per_shard: int = 2_000,
+    min_machines_per_shard: int = 2,
+) -> int:
+    """Pick a shard count from fleet size, ingress budget and frog budget.
+
+    Three ceilings, the smallest wins (floored at one shard):
+
+    * **fleet** — each shard needs at least ``min_machines_per_shard``
+      machines to be a meaningful sub-cluster (a one-machine shard has
+      no network to amortize);
+    * **replication** — every shard holds a *complete* partitioned
+      replica of the graph (the shardable unit is the frog population,
+      not the edge set), so ingress memory grows linearly in the shard
+      count; ``replication`` caps how many full copies the deployment
+      tolerates;
+    * **frogs** — each query's budget splits across shards
+      (cf. :meth:`ShardedBackend._shares`); shards whose share rounds
+      to a trivial population sit batches out while still paying their
+      ingress, so tiny budgets should not fan out at all.
+    """
+    if num_machines < 1:
+        raise ConfigError("num_machines must be positive")
+    if replication < 1:
+        raise ConfigError("replication must be positive")
+    bound = min(num_machines // max(min_machines_per_shard, 1), replication)
+    if num_frogs is not None:
+        bound = min(bound, num_frogs // max(min_frogs_per_shard, 1))
+    return max(1, bound)
 
 
 @dataclass(frozen=True)
@@ -238,20 +276,31 @@ class ShardedBackend:
     def __init__(
         self,
         graph: DiGraph,
-        num_shards: int = 4,
+        num_shards: int | None = 4,
         machines_per_shard: int | None = None,
         num_machines: int | None = None,
         partitioner: str = "random",
         cost_model: CostModel | None = None,
         size_model: MessageSizeModel | None = None,
         seed: int | None = 0,
+        num_frogs: int | None = None,
+        replications: Sequence[ReplicationTable] | None = None,
     ) -> None:
         if graph.num_vertices == 0:
             raise ConfigError("cannot serve an empty graph")
+        fleet = num_machines if num_machines is not None else 16
+        if num_shards is None:
+            # Shard-count autotuning: size the fan-out to the fleet, the
+            # ingress budget and the (optional) frog-budget hint so tiny
+            # budgets stop wasting sub-clusters.
+            num_shards = (
+                len(replications)
+                if replications is not None
+                else choose_num_shards(fleet, num_frogs=num_frogs)
+            )
         if num_shards < 1:
             raise ConfigError("num_shards must be positive")
         if machines_per_shard is None:
-            fleet = num_machines if num_machines is not None else 16
             if num_shards > fleet:
                 raise ConfigError(
                     f"cannot split a {fleet}-machine fleet into "
@@ -271,18 +320,41 @@ class ShardedBackend:
         self.cost_model = cost_model
         self.size_model = size_model
         self.seed = seed
-        # Ingress paid once per shard: each sub-cluster partitions the
-        # graph across its own machines under a distinct seed.
-        self.replications = [
-            ReplicationTable(
-                graph,
-                make_partitioner(
-                    partitioner, self._shard_seed(seed, shard)
-                ).partition(graph, machines_per_shard),
-                seed=seed,
-            )
-            for shard in range(num_shards)
-        ]
+        if replications is not None:
+            # Prebuilt per-shard ingress (e.g. maintained incrementally
+            # by repro.live.IncrementalIngress across graph epochs).
+            replications = list(replications)
+            if len(replications) != num_shards:
+                raise ConfigError(
+                    f"{len(replications)} replication tables supplied "
+                    f"for {num_shards} shards"
+                )
+            for shard, table in enumerate(replications):
+                if table.num_machines != machines_per_shard:
+                    raise ConfigError(
+                        f"shard {shard} replication targets "
+                        f"{table.num_machines} machines, expected "
+                        f"{machines_per_shard}"
+                    )
+                if table.graph.num_vertices != graph.num_vertices:
+                    raise ConfigError(
+                        f"shard {shard} replication was built for a "
+                        "different graph"
+                    )
+            self.replications = replications
+        else:
+            # Ingress paid once per shard: each sub-cluster partitions
+            # the graph across its own machines under a distinct seed.
+            self.replications = [
+                ReplicationTable(
+                    graph,
+                    make_partitioner(
+                        partitioner, self._shard_seed(seed, shard)
+                    ).partition(graph, machines_per_shard),
+                    seed=seed,
+                )
+                for shard in range(num_shards)
+            ]
 
     @staticmethod
     def _shard_seed(base: int | None, shard: int) -> int | None:

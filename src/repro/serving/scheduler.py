@@ -119,10 +119,23 @@ class BatchScheduler:
         # signal (a shared flag would leave stop() joining forever).
         self._stop_event: threading.Event | None = None
         self.stats = SchedulerStats()
+        self._active_dispatches = 0
         #: Last exception a background-thread dispatch raised.  The
         #: failing batch's futures already carry it; this surfaces it
         #: to operators polling the scheduler.
         self.last_error: BaseException | None = None
+
+    @property
+    def active_dispatches(self) -> int:
+        """Batches currently inside the dispatch callback.
+
+        A live-refresh layer swapping backend epochs reads this gauge to
+        know whether any batch is mid-execution: in-flight batches keep
+        the epoch they pinned at dispatch, so a swap concurrent with a
+        non-zero gauge is safe but worth recording.
+        """
+        with self._cond:
+            return self._active_dispatches
 
     # ------------------------------------------------------------------
     # Submission and dispatch
@@ -221,11 +234,16 @@ class BatchScheduler:
         """
         first_error: BaseException | None = None
         for config, entries in batches:
+            with self._cond:
+                self._active_dispatches += 1
             try:
                 self._dispatch(config, entries)
             except BaseException as error:
                 if first_error is None:
                     first_error = error
+            finally:
+                with self._cond:
+                    self._active_dispatches -= 1
             with self._cond:
                 setattr(
                     self.stats,

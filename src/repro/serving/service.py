@@ -42,7 +42,13 @@ from ..core import FrogWildConfig
 from ..engine import RunReport
 from ..errors import ConfigError, EngineError
 from ..graph import DiGraph
-from .backend import BatchOutcome, ExecutionBackend, LocalBackend, ShardedBackend
+from .backend import (
+    BatchOutcome,
+    ExecutionBackend,
+    LocalBackend,
+    ShardedBackend,
+    choose_num_shards,
+)
 from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import TTLCache
 from .scheduler import BatchScheduler
@@ -195,7 +201,13 @@ class RankingService:
     ----------
     graph:
         The served graph; ingress (partitioning + replication tables)
-        is paid once inside the backend.
+        is paid once inside the backend.  A
+        :class:`~repro.dynamic.DynamicDiGraph` is also accepted: the
+        service snapshots it for the backend and defaults the
+        ``generation`` provider to the live graph's version counter, so
+        churn invalidation is on by default (the served snapshot itself
+        stays frozen — :class:`~repro.live.LiveRankingService` is the
+        variant that refreshes the backend too).
     config:
         Default :class:`FrogWildConfig` for queries that don't override.
     num_machines, partitioner, cost_model, size_model, seed:
@@ -214,7 +226,9 @@ class RankingService:
     num_shards:
         ``> 1`` builds a :class:`~repro.serving.ShardedBackend` that
         splits the ``num_machines`` fleet into that many sub-clusters
-        and fans every batch out across them.
+        and fans every batch out across them.  ``None`` autotunes the
+        shard count from the fleet size and the default config's frog
+        budget (:func:`~repro.serving.choose_num_shards`).
     max_delay_s:
         Deadline for the scheduled path (:meth:`submit`): a partial
         batch dispatches once its oldest query has waited this long.
@@ -225,12 +239,16 @@ class RankingService:
         Injectable graph-generation counter mixed into every cache key
         (e.g. ``lambda: dynamic_graph.version``).  When the counter
         moves, previously cached rankings stop matching and re-execute
-        — churn invalidation without TTL guesswork.  Note the scope:
-        this invalidates the *cache*; the service keeps serving the
-        graph snapshot its backend ingested at construction, so
-        re-executions price against that snapshot until the service is
-        rebuilt (refreshing the backend's ingress from a churned graph
-        is the ROADMAP's remaining churn slice).
+        — churn invalidation without TTL guesswork.  Defaults
+        automatically when the service has a generation source: a
+        :class:`~repro.dynamic.DynamicDiGraph` ``graph`` provides its
+        version counter, and an explicit ``backend`` exposing a
+        ``generation`` callable (e.g. :class:`~repro.live.EpochManager`)
+        provides its epoch.  Note the scope here: this invalidates the
+        *cache*; a plain RankingService keeps serving the snapshot its
+        backend ingested at construction, so re-executions price
+        against that snapshot until the backend is refreshed
+        (:class:`~repro.live.LiveRankingService` does exactly that).
     """
 
     def __init__(
@@ -247,18 +265,31 @@ class RankingService:
         seed: int | None = 0,
         clock: Callable[[], float] | None = None,
         backend: ExecutionBackend | None = None,
-        num_shards: int = 1,
+        num_shards: int | None = 1,
         max_delay_s: float | None = None,
         generation: Callable[[], int] | None = None,
     ) -> None:
+        from ..dynamic import DynamicDiGraph
+
+        if isinstance(graph, DynamicDiGraph):
+            # Serve a snapshot of the live graph, and default churn
+            # invalidation to its version counter so callers no longer
+            # have to plumb generation= by hand.
+            source = graph
+            graph = source.snapshot()
+            if generation is None:
+                generation = lambda: source.version  # noqa: E731
         if graph.num_vertices == 0:
             raise ConfigError("cannot serve an empty graph")
         self.graph = graph
         self.default_config = config or FrogWildConfig(seed=seed)
         self.num_machines = num_machines
         self.seed = seed
-        self.generation = generation
         if backend is None:
+            if num_shards is None:
+                num_shards = choose_num_shards(
+                    num_machines, num_frogs=self.default_config.num_frogs
+                )
             if num_shards > 1:
                 backend = ShardedBackend(
                     graph,
@@ -278,6 +309,11 @@ class RankingService:
                     size_model=size_model,
                     seed=seed,
                 )
+        if generation is None:
+            # A backend that knows its graph generation (the epoch-swap
+            # proxy in repro.live) keys the cache by default.
+            generation = getattr(backend, "generation", None)
+        self.generation = generation
         self.backend = backend
         self._clock = clock or time.monotonic
         self.cache: TTLCache | None = (

@@ -374,6 +374,88 @@ class TestGenerationInvalidation:
             service.default_config
         )
 
+    def test_dynamic_graph_defaults_the_generation_provider(self, graph):
+        """A DynamicDiGraph-backed service gets churn invalidation by
+        default: no manual generation= plumbing required."""
+        from repro.dynamic import DynamicDiGraph
+
+        dynamic = DynamicDiGraph.from_digraph(graph)
+        service = make_service(dynamic)
+        assert service.generation is not None
+        assert service.graph.num_vertices == graph.num_vertices
+        service.query([5])
+        assert service.query([5]).cached
+        dynamic.add_edges([(1, 2)])
+        assert not service.query([5]).cached
+        assert service.stats.queries_executed == 2
+
+    def test_explicit_generation_wins_over_the_dynamic_default(self, graph):
+        from repro.dynamic import DynamicDiGraph
+
+        dynamic = DynamicDiGraph.from_digraph(graph)
+        service = make_service(dynamic, generation=lambda: 42)
+        service.query([4])
+        dynamic.add_edges([(1, 2)])  # pinned generation: still cached
+        assert service.query([4]).cached
+
+
+class TestShardAutotuning:
+    """choose_num_shards and the num_shards=None constructor paths."""
+
+    def test_bounds(self):
+        from repro.serving import choose_num_shards
+
+        # Fleet bound: shards need >= 2 machines each by default.
+        assert choose_num_shards(16, replication=16, num_frogs=10**6) == 8
+        assert choose_num_shards(3, replication=16, num_frogs=10**6) == 1
+        # Replication bound caps full ingress copies.
+        assert choose_num_shards(32, replication=4, num_frogs=10**6) == 4
+        # Frog bound: tiny budgets do not fan out at all.
+        assert choose_num_shards(16, replication=8, num_frogs=1_000) == 1
+        assert choose_num_shards(16, replication=8, num_frogs=4_000) == 2
+        # No hint: frogs do not constrain.
+        assert choose_num_shards(16, replication=2) == 2
+        with pytest.raises(ConfigError):
+            choose_num_shards(0)
+        with pytest.raises(ConfigError):
+            choose_num_shards(8, replication=0)
+
+    def test_sharded_backend_autotunes_when_unset(self, graph):
+        from repro.serving import ShardedBackend, choose_num_shards
+
+        backend = ShardedBackend(
+            graph, num_shards=None, num_machines=16, num_frogs=100_000
+        )
+        assert backend.num_shards == choose_num_shards(
+            16, num_frogs=100_000
+        )
+        small = ShardedBackend(
+            graph, num_shards=None, num_machines=16, num_frogs=500
+        )
+        assert small.num_shards == 1
+
+    def test_service_num_shards_none_uses_the_config_budget(self, graph):
+        big = make_service(
+            graph,
+            config=FrogWildConfig(num_frogs=8_000, iterations=3, seed=0),
+            num_machines=8,
+            num_shards=None,
+        )
+        assert big.num_shards == 4  # 8000 frogs fund four sub-clusters
+        tiny = make_service(graph, num_shards=None, num_machines=8)
+        assert tiny.num_shards == 1  # 1200-frog default stays local
+        # An autotune that resolves to one shard gets the LocalBackend
+        # path — identical to an explicit num_shards=1 service.
+        from repro.serving import LocalBackend
+
+        assert isinstance(tiny.backend, LocalBackend)
+        explicit = make_service(graph, num_shards=1, num_machines=8)
+        np.testing.assert_array_equal(
+            tiny.query([3]).vertices, explicit.query([3]).vertices
+        )
+        answer = big.query([3])
+        assert answer.vertices.size > 0
+
 
 class TestServiceStatsGuards:
     def test_zero_traversal_stats_are_well_defined(self, graph):
