@@ -214,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--frogs", type=int, default=3_000)
     serve.add_argument("--iterations", type=int, default=5)
     serve.add_argument("--ps", type=float, default=0.8)
+    serve.add_argument(
+        "--sync-mode", choices=("per-lane", "shared"), default="per-lane",
+        help="'shared' flips one ps coin stream for the whole batch: one "
+             "sync record per (vertex, mirror) per barrier regardless of "
+             "the batch size (adds cross-query correlation)",
+    )
+    serve.add_argument(
+        "--wire-dedupe", action="store_true",
+        help="lanes targeting the same (host, destination) share one "
+             "physical frog record, attributed back proportionally",
+    )
     serve.add_argument("--machines", type=int, default=16)
     serve.add_argument(
         "--shards", type=int, default=1,
@@ -563,7 +574,14 @@ def _cmd_serve_bench(args) -> int:
         iterations=args.iterations,
         ps=args.ps,
         seed=args.seed,
+        sync_mode=args.sync_mode,
+        wire_dedupe=args.wire_dedupe,
     )
+    if args.sync_mode == "shared" or args.wire_dedupe:
+        print(
+            f"kernel modes              : sync={args.sync_mode}, "
+            f"wire-dedupe={'on' if args.wire_dedupe else 'off'}"
+        )
     rng = np.random.default_rng(args.seed)
     seed_sets = [
         np.sort(

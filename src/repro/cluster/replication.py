@@ -131,6 +131,11 @@ class ReplicationTable:
         self.graph = graph
         self.partition = partition
         self.num_machines = partition.num_machines
+        # Memo for structures derived purely from this ingress (kernel
+        # tables, mirror bitmap, ...), filled lazily via
+        # :meth:`repro.engine.ClusterState.ingress_cache` and shared by
+        # every accounting state built over this table.
+        self._ingress_cache: dict = {}
         n = graph.num_vertices
 
         src = graph.edge_sources()

@@ -1,26 +1,50 @@
-"""Batched multi-query FrogWild: B frog populations, one traversal.
+"""Batched multi-query FrogWild: B frog populations, one fused traversal.
 
 Lemma 16 makes any birth law a teleport vector, so a personalized
 top-k query is *just* a frog population with a different start
 distribution — the partitioned-graph traversal it rides is identical
 for every query.  This module exploits that: a batch of B independent
 populations (each with its own teleport vector, frog budget, seed and
-``ps``) advances through a **single shared superstep loop**.  Per
-superstep the batch pays once for
+``ps``) advances through a **single shared superstep loop**.
 
-* the machine-grouped topology gather of the union scatter frontier
-  (each population's group view is a boolean slice of it),
+The default execution is the **lane-major fused kernel**: frog state is
+one ``(B, n)`` int64 matrix advanced in place, and each superstep runs
+apply/death, stranded repair and scatter over a single concatenated
+``(lane, vertex)`` frontier addressed by lane-offset keys
+(``lane * n + vertex``), so every ``bincount``/gather/scatter pass
+touches all populations at once instead of once per lane.  Only the
+random draws stay per-lane — each population owns an rng seeded exactly
+like the single-query runner's and consumes it in the same order — so a
+batch of size one is **bit-identical** to
+:class:`~repro.core.frogwild.FrogWildRunner` under the same seed, and
+every lane of a larger batch is bit-identical to its standalone run.
+The pre-fusion per-lane loop survives as the ``kernel="lane-loop"``
+reference implementation; ``tests/test_batch_kernel.py`` pins the two
+kernels to each other bit for bit and ``benchmarks/bench_batch_kernel.py``
+measures the fusion speedup.
+
+Per superstep the batch pays once for
+
+* the machine-grouped topology gather of the concatenated frontier,
 * the BSP barrier (one :meth:`~repro.engine.ClusterState.end_superstep`),
 * the physical per-machine-pair messages — all populations' sync and
   frog records ride the same wire flush, so per-message headers are
-  amortized across the batch,
+  amortized across the batch.
 
-while deaths, sync coins, erasure repairs and hops stay per-population
-(each population owns an rng seeded exactly like the single-query
-runner's).  Consequently a batch of size one is **bit-identical** to
-:class:`~repro.core.frogwild.FrogWildRunner` under the same seed — the
-equivalence the regression tests in ``tests/test_batched_frogwild.py``
-pin down.
+Two opt-in modes push the sharing onto the records themselves:
+
+* ``config.sync_mode == "shared"`` flips **one** coin stream for the
+  whole batch — each barrier emits exactly one sync record per
+  (vertex, mirror) regardless of B, at the price of cross-query
+  estimator correlation (the populations see the same erasure process);
+* ``config.wire_dedupe`` lets lanes targeting the same (hosting
+  machine, destination vertex) in one superstep share one physical
+  frog record (the record carries per-lane counts).
+
+Both keep cost attribution honest: physical records are split back to
+the lanes by exact largest-remainder apportionment
+(:func:`~repro.engine.apportion_records`), so per-lane attributed
+records always sum to the physical record count.
 
 Cost attribution stays per-population: every lane carries a
 :class:`~repro.engine.CostLedger` tallying the CPU ops, records and
@@ -43,6 +67,7 @@ from ..engine import (
     CostLedger,
     MirrorSynchronizer,
     RunReport,
+    apportion_records,
     build_cluster,
     sync_pair_records,
 )
@@ -55,7 +80,8 @@ from .frogwild import (
     FrogWildResult,
     _choose_repair_positions,
     _gather_groups,
-    _KernelTables,
+    _kernel_tables,
+    _ranges_to_indices,
     _scatter_binomial,
     _scatter_multinomial,
 )
@@ -68,6 +94,35 @@ __all__ = [
     "run_frogwild_batch",
 ]
 
+_KERNELS = ("fused", "lane-loop")
+
+
+def _charge_stack(
+    live: list["_Lane"], stack: np.ndarray, with_ops: bool
+) -> None:
+    """Attribute a stacked (B, machines, machines) record tensor.
+
+    One vectorized pass computes every lane's off-diagonal record and
+    message counts (equivalent to per-lane
+    :meth:`~repro.engine.CostLedger.charge_pair_records` calls); sync
+    and repair records additionally bill one CPU op per record, like
+    the single-query runner.
+    """
+    num_machines = stack.shape[1]
+    off_diagonal = stack.copy()
+    diagonal = np.arange(num_machines)
+    off_diagonal[:, diagonal, diagonal] = 0
+    records = off_diagonal.sum(axis=(1, 2))
+    messages = np.count_nonzero(
+        off_diagonal.reshape(stack.shape[0], -1), axis=1
+    )
+    for lane in live:
+        count = int(records[lane.index])
+        if count:
+            lane.ledger.charge_counts(count, int(messages[lane.index]))
+            if with_ops:
+                lane.ledger.charge_ops(count)
+
 
 @dataclass(frozen=True, eq=False)
 class BatchQuery:
@@ -76,7 +131,9 @@ class BatchQuery:
     Every field defaults to the batch-wide :class:`FrogWildConfig`;
     ``start_distribution`` is the per-query teleport/birth law (None
     means uniform, i.e. global PageRank) and ``ps`` may thin this
-    population's mirror synchronization independently of its batchmates.
+    population's mirror synchronization independently of its batchmates
+    (per-lane sync mode only; shared sync uses one coin stream, hence
+    one ``ps``, for the whole batch).
     """
 
     num_frogs: int | None = None
@@ -137,8 +194,6 @@ class _Lane:
         "rng",
         "synchronizer",
         "ledger",
-        "frogs",
-        "counts",
         "sv",
         "k_sv",
         "finished_at",
@@ -148,6 +203,7 @@ class _Lane:
     def __init__(self) -> None:
         self.sv = None
         self.k_sv = None
+        self.synchronizer = None
         self.finished_at = None
         self.sim_time_s = 0.0
 
@@ -155,12 +211,20 @@ class _Lane:
 class BatchedFrogWildRunner:
     """Executes B FrogWild populations on one prepared cluster.
 
-    The frog-count state is conceptually a ``(B, n)`` matrix — one row
-    per population — advanced by a single traversal of the partitioned
-    graph per superstep.  All populations share ``iterations``,
-    ``p_teleport``, ``scatter_mode`` and ``erasure_model`` from the
-    batch config (the serving layer's coalescer never mixes configs in
-    one batch); frog budget, birth law, seed and ``ps`` are per-query.
+    The frog-count state is a ``(B, n)`` int64 matrix — one row per
+    population — advanced in place by a single traversal of the
+    partitioned graph per superstep.  All populations share
+    ``iterations``, ``p_teleport``, ``scatter_mode``, ``erasure_model``,
+    ``sync_mode`` and ``wire_dedupe`` from the batch config (the serving
+    layer's coalescer never mixes configs in one batch); frog budget,
+    birth law, seed and — in per-lane sync mode — ``ps`` are per-query.
+
+    ``kernel`` selects the superstep implementation: ``"fused"``
+    (default) advances all lanes through one concatenated pass,
+    ``"lane-loop"`` is the pre-fusion per-lane reference the fused
+    kernel is regression-pinned against.  Both produce bit-identical
+    results in the default sync mode; shared sync and wire dedupe
+    require the fused kernel.
     """
 
     def __init__(
@@ -168,16 +232,35 @@ class BatchedFrogWildRunner:
         state: ClusterState,
         config: FrogWildConfig,
         queries: Sequence[BatchQuery],
+        kernel: str = "fused",
     ) -> None:
         if not queries:
             raise ConfigError("a batch needs at least one query")
+        if kernel not in _KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {_KERNELS}, got {kernel!r}"
+            )
         self.state = state
         self.config = config
-        self.tables = _KernelTables(state)
+        self.kernel = kernel
+        self.shared_sync_mode = config.sync_mode == "shared"
+        self.wire_dedupe = config.wire_dedupe
+        if kernel == "lane-loop" and (
+            self.shared_sync_mode or self.wire_dedupe
+        ):
+            raise ConfigError(
+                "shared sync and wire dedupe are fused-kernel modes; "
+                "the lane-loop reference kernel supports only the "
+                "default per-lane configuration"
+            )
+        self.tables = _kernel_tables(state)
         self.erasure = make_erasure_model(config.erasure_model)
         size_model = state.fabric.size_model
-        # One mirror bitmap shared by every population's synchronizer.
-        mirror_matrix = MirrorSynchronizer.build_mirror_matrix(state)
+        # One mirror bitmap shared by every population's synchronizer
+        # (and across batches: it is the per-ingress cached bitmap, so
+        # synchronizers fork a private copy before any disable).
+        mirror_matrix = MirrorSynchronizer.shared_mirror_matrix(state)
+        self._mirror_matrix = mirror_matrix
         n = state.num_vertices
         self.lanes: list[_Lane] = []
         for index, query in enumerate(queries):
@@ -192,6 +275,13 @@ class BatchedFrogWildRunner:
             lane.ps = config.ps if query.ps is None else query.ps
             if not 0.0 <= lane.ps <= 1.0:
                 raise ConfigError(f"ps must lie in [0, 1], got {lane.ps}")
+            if self.shared_sync_mode and lane.ps != config.ps:
+                raise ConfigError(
+                    "shared sync flips one coin stream for the whole "
+                    "batch, so per-query ps overrides are not allowed "
+                    f"(query {index} wants ps={lane.ps:g}, batch uses "
+                    f"ps={config.ps:g})"
+                )
             lane.seed = config.seed if query.seed is None else query.seed
             distribution = query.start_distribution
             if distribution is not None:
@@ -212,14 +302,47 @@ class BatchedFrogWildRunner:
             lane.rng = np.random.default_rng(
                 lane.seed if lane.seed is None else [104, lane.seed]
             )
-            lane.synchronizer = MirrorSynchronizer(
-                state, lane.ps, lane.rng, mirror_matrix=mirror_matrix
-            )
+            if not self.shared_sync_mode:
+                lane.synchronizer = MirrorSynchronizer(
+                    state,
+                    lane.ps,
+                    lane.rng,
+                    mirror_matrix=mirror_matrix,
+                    copy_on_disable=True,
+                )
             lane.ledger = CostLedger(
                 record_bytes=size_model.record_bytes(),
                 message_header_bytes=size_model.message_header_bytes,
             )
             self.lanes.append(lane)
+        if self.shared_sync_mode:
+            # One coin stream for the whole batch, on its own seed
+            # stream (105) so it never collides with lane streams (104)
+            # or cluster-component streams.
+            self.shared_sync = MirrorSynchronizer(
+                state,
+                config.ps,
+                np.random.default_rng(
+                    config.seed if config.seed is None else [105, config.seed]
+                ),
+                mirror_matrix=mirror_matrix,
+                copy_on_disable=True,
+            )
+        else:
+            self.shared_sync = None
+        # Lane-major frog state: row b is population b's frog counts.
+        self.frogs = np.zeros((len(self.lanes), n), dtype=np.int64)
+        self.counts = np.zeros((len(self.lanes), n), dtype=np.int64)
+        self._lane_ps = np.array([lane.ps for lane in self.lanes])
+        # Physical records actually flushed, by kind — the quantities
+        # the shared-sync and dedupe guarantees are stated against —
+        # plus the *demand* totals: what the same coin outcomes would
+        # have billed under per-lane accounting (demand == physical in
+        # the default modes; the gap is exactly what sharing saved).
+        self.record_totals = {
+            "sync": 0, "repair": 0, "frog": 0,
+            "sync_demand": 0, "frog_demand": 0,
+        }
 
     # ------------------------------------------------------------------
     def run(self) -> BatchedFrogWildResult:
@@ -229,8 +352,6 @@ class BatchedFrogWildRunner:
         n = state.num_vertices
         if n == 0:
             raise EngineError("cannot run FrogWild on an empty graph")
-        num_machines = state.num_machines
-        masters = self.tables.masters
 
         # init(): every population born from its own start law.
         for lane in self.lanes:
@@ -240,61 +361,36 @@ class BatchedFrogWildRunner:
                 birth = lane.rng.choice(
                     n, size=lane.num_frogs, p=lane.start_distribution
                 )
-            lane.frogs = np.bincount(birth, minlength=n).astype(np.int64)
-            lane.counts = np.zeros(n, dtype=np.int64)
+            self.frogs[lane.index] = np.bincount(birth, minlength=n)
 
-        for step in range(cfg.iterations):
-            live: list[tuple[_Lane, np.ndarray]] = []
-            active_union = np.zeros(n, dtype=bool)
-            for lane in self.lanes:
-                if lane.finished_at is not None:
-                    continue
-                active_idx = np.flatnonzero(lane.frogs)
-                if active_idx.size == 0:
-                    lane.finished_at = step
-                    continue
-                live.append((lane, active_idx))
-                active_union[active_idx] = True
-            if not live:
-                break
-
-            # ---------------- apply(): per-population deaths -----------
-            apply_ops = np.zeros(num_machines, dtype=np.int64)
-            scatter_mask = np.zeros(n, dtype=bool)
-            for lane, active_idx in live:
-                k_active = lane.frogs[active_idx]
-                dead = lane.rng.binomial(k_active, cfg.p_teleport)
-                np.add.at(lane.counts, active_idx, dead)
-                survivors = k_active - dead
-                ops = np.bincount(
-                    masters[active_idx], weights=k_active, minlength=num_machines
-                ).astype(np.int64)
-                apply_ops += ops
-                lane.ledger.charge_ops(int(ops.sum()))
-                moving = survivors > 0
-                lane.sv = active_idx[moving]
-                lane.k_sv = survivors[moving].astype(np.int64)
-                scatter_mask[lane.sv] = True
-            state.charge_many(apply_ops, phase="apply")
-
-            sv_union = np.flatnonzero(scatter_mask)
-            if sv_union.size:
-                self._scatter_phase(live, sv_union)
-            else:
-                for lane, _ in live:
-                    lane.frogs = np.zeros(n, dtype=np.int64)
-
-            state.end_superstep(int(active_union.sum()))
-            step_seconds = state.stats.steps[-1].sim_seconds
-            for lane, _ in live:
-                lane.ledger.supersteps += 1
-                lane.sim_time_s += step_seconds
+        if self.kernel == "fused":
+            # The fused kernel carries the frontier as concatenated
+            # (lane, vertex, count) arrays between supersteps instead
+            # of rescanning the (B, n) matrix; the matrix is
+            # materialized once after the loop for the cut-off count.
+            lane_ids, verts = np.nonzero(self.frogs)
+            frontier = (lane_ids, verts, self.frogs[lane_ids, verts])
+            for step in range(cfg.iterations):
+                frontier = self._superstep_fused(step, frontier)
+                if frontier is None:
+                    frontier = (None, None, None)
+                    break
+            lane_ids, verts, k = frontier
+            self.frogs[...] = 0
+            if lane_ids is not None and lane_ids.size:
+                self.frogs.reshape(-1)[lane_ids * n + verts] = k
+        else:
+            for step in range(cfg.iterations):
+                if not self._superstep_lane_loop(step):
+                    break
 
         # Cut-off: survivors are counted where they stand (Process 15).
+        self.counts += self.frogs
         results = []
         for lane in self.lanes:
-            lane.counts += lane.frogs
-            estimate = PageRankEstimate(lane.counts, lane.num_frogs)
+            estimate = PageRankEstimate(
+                self.counts[lane.index], lane.num_frogs
+            )
             results.append(
                 FrogWildResult(
                     estimate, self._lane_report(lane), state, lane.ledger
@@ -305,6 +401,575 @@ class BatchedFrogWildRunner:
         )
 
     # ------------------------------------------------------------------
+    def _flush_round(
+        self,
+        sync_records: np.ndarray,
+        repair_records: np.ndarray,
+        frog_records: np.ndarray,
+        scatter_ops: np.ndarray,
+    ) -> None:
+        """Flush one round's physical traffic (same order as pre-fusion)."""
+        state = self.state
+        if sync_records.any():
+            state.send_pair_matrix(sync_records, kind="sync")
+            state.charge_many(sync_records.sum(axis=0), phase="sync")
+        if repair_records.any():
+            state.send_pair_matrix(repair_records, kind="sync")
+            state.charge_many(repair_records.sum(axis=0), phase="sync")
+        state.charge_many(scatter_ops, phase="scatter")
+        if frog_records.any():
+            state.send_pair_matrix(frog_records, kind="scatter")
+        self.record_totals["sync"] += int(sync_records.sum())
+        self.record_totals["repair"] += int(repair_records.sum())
+        self.record_totals["frog"] += int(frog_records.sum())
+        # Demand starts at the physical count; the shared-sync and
+        # dedupe paths add their surplus (per-lane billing of the same
+        # coins/hops) on top, so demand - physical = records saved.
+        self.record_totals["sync_demand"] += int(sync_records.sum())
+        self.record_totals["frog_demand"] += int(frog_records.sum())
+
+    # ------------------------------------------------------------------
+    def _close_superstep(self, live: list[_Lane], active_union: int) -> None:
+        """Barrier + per-lane superstep/time attribution (both kernels)."""
+        state = self.state
+        state.end_superstep(active_union)
+        step_seconds = state.stats.steps[-1].sim_seconds
+        for lane in live:
+            lane.ledger.supersteps += 1
+            lane.sim_time_s += step_seconds
+
+    # ------------------------------------------------------------------
+    # Fused lane-major kernel (default)
+    # ------------------------------------------------------------------
+    def _superstep_fused(
+        self,
+        step: int,
+        frontier: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """One death + sync + scatter round over all lanes at once.
+
+        ``frontier`` is the concatenated ``(lane, vertex, count)``
+        nonzero set of the conceptual frog matrix, in lane-major order —
+        every lane's segment is exactly the frontier its standalone run
+        would walk, so the per-lane random draws (sliced out of the
+        concatenation) consume each lane's rng in the standalone order
+        while every gather, ``bincount`` and record pass runs once over
+        the total work.  Returns the next frontier, or None once every
+        population has died out.
+        """
+        state = self.state
+        cfg = self.config
+        masters = self.tables.masters
+        n = state.num_vertices
+        num_machines = state.num_machines
+        num_lanes = len(self.lanes)
+        empty = np.empty(0, dtype=np.int64)
+
+        lane_ids, verts, k = frontier
+        row_counts = np.bincount(lane_ids, minlength=num_lanes)
+        bounds = np.concatenate([[0], np.cumsum(row_counts)])
+        live: list[_Lane] = []
+        for lane in self.lanes:
+            if lane.finished_at is not None:
+                continue
+            if row_counts[lane.index] == 0:
+                lane.finished_at = step
+                continue
+            live.append(lane)
+        if not live:
+            return None
+        active_mask = np.zeros(n, dtype=bool)
+        active_mask[verts] = True
+        active_union = int(active_mask.sum())
+
+        # ---------------- apply(): per-lane death coins ----------------
+        dead = np.empty(lane_ids.size, dtype=np.int64)
+        for lane in live:
+            sl = slice(bounds[lane.index], bounds[lane.index + 1])
+            dead[sl] = lane.rng.binomial(k[sl], cfg.p_teleport)
+            lane.ledger.charge_ops(int(k[sl].sum()))
+        # (lane, vertex) keys are unique, so the fancy add is exact.
+        self.counts.reshape(-1)[lane_ids * n + verts] += dead
+        state.charge_many(
+            np.bincount(
+                masters[verts], weights=k, minlength=num_machines
+            ).astype(np.int64),
+            phase="apply",
+        )
+
+        survivors = k - dead
+        moving = survivors > 0
+        lane_sv = lane_ids[moving]
+        vert_sv = verts[moving]
+        k_sv = survivors[moving]
+        if vert_sv.size == 0:
+            self._close_superstep(live, active_union)
+            return (empty, empty, empty)
+
+        next_frontier = self._scatter_fused(live, lane_sv, vert_sv, k_sv)
+        self._close_superstep(live, active_union)
+        return next_frontier
+
+    def _scatter_fused(
+        self,
+        live: list[_Lane],
+        lane_sv: np.ndarray,
+        vert_sv: np.ndarray,
+        k_sv: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sync + repair + scatter over the concatenated frontier.
+
+        Returns the next frontier as sorted-unique ``(lane, vertex,
+        count)`` arrays, accumulated with one compressed ``bincount``
+        over the hops that actually happened — the fused kernel never
+        touches an O(B·n) dense buffer.
+        """
+        state = self.state
+        cfg = self.config
+        tables = self.tables
+        masters = tables.masters
+        n = state.num_vertices
+        num_machines = state.num_machines
+        num_lanes = len(self.lanes)
+        num_pairs = num_machines * num_machines
+        frontier = vert_sv.size
+        sv_bounds = np.concatenate(
+            [[0], np.cumsum(np.bincount(lane_sv, minlength=num_lanes))]
+        )
+
+        def lane_slice(lane: _Lane) -> slice:
+            return slice(sv_bounds[lane.index], sv_bounds[lane.index + 1])
+
+        def pair_matrices(
+            rows: np.ndarray, src: np.ndarray, dst: np.ndarray
+        ) -> np.ndarray:
+            """Per-lane (src, dst) record matrices, one bincount pass."""
+            return (
+                np.bincount(
+                    (rows * num_machines + src) * num_machines + dst,
+                    minlength=num_lanes * num_pairs,
+                )
+                .reshape(num_lanes, num_machines, num_machines)
+            )
+
+        # -------- <sync>: ps coins, per-lane or batch-shared ----------
+        if self.shared_sync is None:
+            # Inlined per-lane draw_fresh over the whole frontier: the
+            # mirror bitmap is gathered once, each lane's coins are
+            # drawn into its contiguous slice (same rng call shape as
+            # its standalone run, so streams replay exactly), and the
+            # fresh/synced matrices are assembled in one pass.
+            mirrors = self._mirror_matrix[vert_sv]
+            synced = np.zeros((frontier, num_machines), dtype=bool)
+            for lane in live:
+                sl = lane_slice(lane)
+                rows = sl.stop - sl.start
+                if rows == 0:
+                    continue
+                if lane.ps >= 1.0:
+                    synced[sl] = mirrors[sl]
+                elif lane.ps > 0.0:
+                    coins = lane.rng.random((rows, num_machines)) < lane.ps
+                    synced[sl] = mirrors[sl] & coins
+            fresh = synced.copy()
+            fresh[
+                np.arange(frontier, dtype=np.int64), masters[vert_sv]
+            ] = True
+            rows_nz, cols_nz = np.nonzero(synced)
+            lane_sync = pair_matrices(
+                lane_sv[rows_nz], masters[vert_sv[rows_nz]], cols_nz
+            )
+            sync_records = lane_sync.sum(axis=0)
+        else:
+            # One coin per (vertex, mirror) in the union frontier: the
+            # physical sync traffic is independent of the batch size.
+            union_verts = np.unique(vert_sv)
+            fresh_u, synced_u = self.shared_sync.draw_fresh(union_verts)
+            position = np.searchsorted(union_verts, vert_sv)
+            fresh = fresh_u[position]
+            sync_records = sync_pair_records(
+                masters[union_verts], synced_u, num_machines
+            )
+            # Attribution: what each lane would have billed had the
+            # shared coins been its own, apportioned so lane shares sum
+            # exactly to the physical record count.
+            rows_nz, cols_nz = np.nonzero(synced_u[position])
+            demand = pair_matrices(
+                lane_sv[rows_nz], masters[vert_sv[rows_nz]], cols_nz
+            )
+            lane_sync = apportion_records(sync_records, demand)
+            self.record_totals["sync_demand"] += int(
+                demand.sum() - sync_records.sum()
+            )
+        _charge_stack(live, lane_sync, with_ops=True)
+
+        # -------- enabled groups of the concatenated frontier ----------
+        g_lo = tables.vertex_ptr[vert_sv]
+        g_count = tables.vertex_ptr[vert_sv + 1] - g_lo
+        grp_idx = _ranges_to_indices(g_lo, g_count)
+        grp_row = np.repeat(np.arange(frontier, dtype=np.int64), g_count)
+        grp_machine = tables.group_machine[grp_idx]
+        grp_sizes = tables.group_sizes[grp_idx]
+        enabled_grp = fresh[grp_row, grp_machine]
+
+        enabled_per_row = np.bincount(
+            grp_row, weights=enabled_grp, minlength=frontier
+        ).astype(np.int64)
+        stranded = enabled_per_row == 0
+        repair_records = np.zeros(
+            (num_machines, num_machines), dtype=np.int64
+        )
+        lane_repair = None
+        # Next-frontier accumulator: (lane * n + vertex) keys plus the
+        # frog counts landing there, reduced once at the end.
+        idle_keys = None
+        idle_weights = None
+        if stranded.any():
+            bad = np.flatnonzero(stranded)
+            if self.erasure.repairs_empty:
+                # At-Least-One-Out-Edge repair (Example 10): enable one
+                # uniform group per stranded frontier row.  In shared
+                # sync mode the coin belongs to the vertex (all lanes
+                # stranded there share the repaired mirror and the one
+                # physical record); per-lane mode draws from each
+                # lane's own rng exactly like its standalone run.
+                # Dangling vertices (no out-groups) cannot be repaired:
+                # their frogs idle in place awaiting teleportation.
+                dangling = g_count[bad] == 0
+                if dangling.any():
+                    idle = bad[dangling]
+                    idle_keys = lane_sv[idle] * n + vert_sv[idle]
+                    idle_weights = k_sv[idle]
+                    k_sv = k_sv.copy()
+                    k_sv[idle] = 0
+                    bad = bad[~dangling]
+                block_offsets = np.concatenate([[0], np.cumsum(g_count)[:-1]])
+                if bad.size == 0:
+                    pass  # every stranded row was dangling: nothing to repair
+                elif self.shared_sync is None:
+                    pick = np.empty(bad.size, dtype=np.int64)
+                    bad_lanes = lane_sv[bad]
+                    for lane in live:
+                        lo, hi = np.searchsorted(
+                            bad_lanes, [lane.index, lane.index + 1]
+                        )
+                        if hi > lo:
+                            pick[lo:hi] = (
+                                lane.rng.random(hi - lo) * g_count[bad[lo:hi]]
+                            ).astype(np.int64)
+                    flat_pos = block_offsets[bad] + pick
+                    machines = grp_machine[flat_pos]
+                    sources = masters[vert_sv[bad]].astype(np.int64)
+                    remote = machines != sources
+                    lane_repair = pair_matrices(
+                        bad_lanes[remote], sources[remote], machines[remote]
+                    )
+                    repair_records = lane_repair.sum(axis=0)
+                else:
+                    bad_verts = vert_sv[bad]
+                    u_bad, u_inverse = np.unique(
+                        bad_verts, return_inverse=True
+                    )
+                    u_count = (
+                        tables.vertex_ptr[u_bad + 1] - tables.vertex_ptr[u_bad]
+                    )
+                    pick_u = (
+                        self.shared_sync.rng.random(u_bad.size) * u_count
+                    ).astype(np.int64)
+                    flat_pos = block_offsets[bad] + pick_u[u_inverse]
+                    machines_u = tables.group_machine[
+                        tables.vertex_ptr[u_bad] + pick_u
+                    ]
+                    sources_u = masters[u_bad].astype(np.int64)
+                    remote_u = machines_u != sources_u
+                    repair_records = np.bincount(
+                        sources_u[remote_u] * num_machines
+                        + machines_u[remote_u],
+                        minlength=num_pairs,
+                    ).reshape(num_machines, num_machines)
+                    machines = machines_u[u_inverse]
+                    sources = sources_u[u_inverse]
+                    remote = remote_u[u_inverse]
+                    demand = pair_matrices(
+                        lane_sv[bad][remote], sources[remote], machines[remote]
+                    )
+                    lane_repair = apportion_records(repair_records, demand)
+                if bad.size:
+                    enabled_grp = enabled_grp.copy()
+                    enabled_grp[flat_pos] = True
+                    _charge_stack(live, lane_repair, with_ops=True)
+            else:
+                # Independent erasures: frogs idle in place this step.
+                idle_keys = lane_sv[bad] * n + vert_sv[bad]
+                idle_weights = k_sv[bad]
+                k_sv = k_sv.copy()
+                k_sv[stranded] = 0
+
+        # -------- scatter(): per-lane hop coins, one expansion ---------
+        if cfg.scatter_mode == "multinomial":
+            dest, host, frog_lane, hop_keys, hop_weights = (
+                self._scatter_multinomial_fused(
+                    live, lane_sv, vert_sv, k_sv, grp_row, grp_idx,
+                    grp_sizes, enabled_grp,
+                )
+            )
+        else:
+            dest, host, frog_lane, hop_keys, hop_weights = (
+                self._scatter_binomial_fused(
+                    live, lane_sv, vert_sv, k_sv, grp_row, grp_idx,
+                    grp_sizes, enabled_grp,
+                )
+            )
+
+        if dest.size:
+            scatter_ops = np.bincount(host, minlength=num_machines)
+            hops_per_lane = np.bincount(frog_lane, minlength=num_lanes)
+        else:
+            scatter_ops = np.zeros(num_machines, dtype=np.int64)
+            hops_per_lane = np.zeros(num_lanes, dtype=np.int64)
+        scatter_ops = scatter_ops + np.bincount(
+            grp_machine[enabled_grp], minlength=num_machines
+        )
+        lane_of_group = lane_sv[grp_row]
+        groups_per_lane = np.bincount(
+            lane_of_group[enabled_grp], minlength=num_lanes
+        )
+        for lane in live:
+            lane.ledger.charge_ops(
+                int(hops_per_lane[lane.index])
+                + int(groups_per_lane[lane.index])
+            )
+
+        # -------- frog records: combined per (lane, host, dest) --------
+        frog_records = np.zeros((num_machines, num_machines), dtype=np.int64)
+        lane_frog = None
+        if dest.size:
+            unique_keys = np.unique(
+                (frog_lane * num_machines + host) * n + dest
+            )
+            lane_u = unique_keys // (num_machines * n)
+            pair_u = unique_keys % (num_machines * n)
+            host_u = pair_u // n
+            dest_u = pair_u % n
+            dest_master = masters[dest_u].astype(np.int64)
+            remote = host_u != dest_master
+            demand = pair_matrices(
+                lane_u[remote], host_u[remote], dest_master[remote]
+            )
+            if self.wire_dedupe:
+                # Lanes aiming at the same (host, destination) share one
+                # physical wire record; the shares below hand it back.
+                phys_keys = np.unique(pair_u[remote])
+                phys_host = phys_keys // n
+                phys_master = masters[phys_keys % n].astype(np.int64)
+                frog_records = np.bincount(
+                    phys_host * num_machines + phys_master,
+                    minlength=num_machines * num_machines,
+                ).reshape(num_machines, num_machines)
+                lane_frog = apportion_records(frog_records, demand)
+                self.record_totals["frog_demand"] += int(
+                    demand.sum() - frog_records.sum()
+                )
+            else:
+                lane_frog = demand
+                frog_records = demand.sum(axis=0)
+            _charge_stack(live, lane_frog, with_ops=False)
+
+        # -------- physical flush: whole batch, once per round ----------
+        self._flush_round(
+            sync_records, repair_records, frog_records,
+            scatter_ops.astype(np.int64),
+        )
+
+        # -------- next frontier: one compressed reduction --------------
+        if idle_keys is None and hop_weights is None:
+            # Hot path (multinomial, no idling): every hop lands one
+            # frog, so the unique pass yields the counts directly.
+            if hop_keys.size == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty, empty
+            unique_next, counts = np.unique(hop_keys, return_counts=True)
+            return unique_next // n, unique_next % n, counts
+        if hop_weights is None:
+            hop_weights = np.ones(hop_keys.size, dtype=np.int64)
+        if idle_keys is None:
+            keys, weights = hop_keys, hop_weights
+        else:
+            keys = np.concatenate([idle_keys, hop_keys])
+            weights = np.concatenate([idle_weights, hop_weights])
+        if keys.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        unique_next, inverse = np.unique(keys, return_inverse=True)
+        counts = np.bincount(
+            inverse, weights=weights, minlength=unique_next.size
+        ).astype(np.int64)
+        return unique_next // n, unique_next % n, counts
+
+    def _scatter_multinomial_fused(
+        self,
+        live: list[_Lane],
+        lane_sv: np.ndarray,
+        vert_sv: np.ndarray,
+        k_sv: np.ndarray,
+        grp_row: np.ndarray,
+        grp_idx: np.ndarray,
+        grp_sizes: np.ndarray,
+        enabled_grp: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, None]:
+        """Split each row's K frogs uniformly over its enabled edges.
+
+        The edge expansion runs once over the concatenated frontier;
+        only the uniform hop draws are sliced per lane (lane segments
+        are contiguous, so each slice replays the standalone call).
+        Returns per-hop ``(dest, host, lane)`` plus the frontier
+        accumulation keys (weights None: one frog per hop).
+        """
+        tables = self.tables
+        n = self.state.num_vertices
+        num_lanes = len(self.lanes)
+        frontier = vert_sv.size
+        empty = np.empty(0, dtype=np.int64)
+
+        enabled_counts = np.bincount(
+            grp_row, weights=enabled_grp * grp_sizes, minlength=frontier
+        ).astype(np.int64)
+        k_send = np.where(enabled_counts > 0, k_sv, 0)
+        per_lane = np.bincount(
+            lane_sv, weights=k_send, minlength=num_lanes
+        ).astype(np.int64)
+        total = int(k_send.sum())
+        if total == 0:
+            return empty, empty, empty, empty, None
+
+        draw = np.empty(total, dtype=np.float64)
+        draw_bounds = np.concatenate([[0], np.cumsum(per_lane)])
+        for lane in live:
+            lo, hi = draw_bounds[lane.index], draw_bounds[lane.index + 1]
+            if hi > lo:
+                draw[lo:hi] = lane.rng.random(hi - lo)
+
+        enabled_edges = _ranges_to_indices(
+            tables.group_start[grp_idx[enabled_grp]],
+            grp_sizes[enabled_grp],
+        )
+        enabled_offsets = np.concatenate([[0], np.cumsum(enabled_counts)[:-1]])
+        frog_row = np.repeat(np.arange(frontier, dtype=np.int64), k_send)
+        pick = enabled_offsets[frog_row] + (
+            draw * enabled_counts[frog_row]
+        ).astype(np.int64)
+        chosen = enabled_edges[pick]
+        dest = tables.edge_target[chosen]
+        host = tables.edge_host[chosen]
+        frog_lane = lane_sv[frog_row]
+        return dest, host, frog_lane, frog_lane * n + dest, None
+
+    def _scatter_binomial_fused(
+        self,
+        live: list[_Lane],
+        lane_sv: np.ndarray,
+        vert_sv: np.ndarray,
+        k_sv: np.ndarray,
+        grp_row: np.ndarray,
+        grp_idx: np.ndarray,
+        grp_sizes: np.ndarray,
+        enabled_grp: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Paper pseudocode: Bin(K, 1/(d_out ps)) per enabled edge."""
+        tables = self.tables
+        n = self.state.num_vertices
+        empty = np.empty(0, dtype=np.int64)
+
+        on = np.flatnonzero(enabled_grp)
+        if on.size == 0:
+            return empty, empty, empty, empty, empty
+        sizes_on = grp_sizes[on]
+        candidate = _ranges_to_indices(
+            tables.group_start[grp_idx[on]], sizes_on
+        )
+        row_pos = np.repeat(grp_row[on], sizes_on)
+        edge_lane = lane_sv[row_pos]
+        k_per_edge = k_sv[row_pos]
+        p_eff = np.maximum(self._lane_ps[edge_lane], 1e-12)
+        prob = np.minimum(
+            1.0, 1.0 / (tables.out_degree[vert_sv[row_pos]] * p_eff)
+        )
+        sent = np.empty(candidate.size, dtype=np.int64)
+        for lane in live:
+            lo, hi = np.searchsorted(edge_lane, [lane.index, lane.index + 1])
+            if hi > lo:
+                sent[lo:hi] = lane.rng.binomial(
+                    k_per_edge[lo:hi], prob[lo:hi]
+                )
+        nonzero = sent > 0
+        chosen = candidate[nonzero]
+        dest = tables.edge_target[chosen]
+        host = tables.edge_host[chosen]
+        hop_lane = edge_lane[nonzero]
+        hop_keys = hop_lane * n + dest
+        hop_weights = sent[nonzero]
+        # Replicate per-frog host attribution for CPU/message accounting.
+        dest = np.repeat(dest, hop_weights)
+        host = np.repeat(host, hop_weights)
+        frog_lane = np.repeat(hop_lane, hop_weights)
+        return dest, host, frog_lane, hop_keys, hop_weights
+
+    # ------------------------------------------------------------------
+    # Lane-loop reference kernel (pre-fusion implementation)
+    # ------------------------------------------------------------------
+    def _superstep_lane_loop(self, step: int) -> bool:
+        """One superstep of the per-lane reference implementation."""
+        state = self.state
+        cfg = self.config
+        masters = self.tables.masters
+        n = state.num_vertices
+        num_machines = state.num_machines
+
+        live: list[tuple[_Lane, np.ndarray]] = []
+        active_union = np.zeros(n, dtype=bool)
+        for lane in self.lanes:
+            if lane.finished_at is not None:
+                continue
+            active_idx = np.flatnonzero(self.frogs[lane.index])
+            if active_idx.size == 0:
+                lane.finished_at = step
+                continue
+            live.append((lane, active_idx))
+            active_union[active_idx] = True
+        if not live:
+            return False
+
+        # ---------------- apply(): per-population deaths -----------
+        apply_ops = np.zeros(num_machines, dtype=np.int64)
+        scatter_mask = np.zeros(n, dtype=bool)
+        for lane, active_idx in live:
+            k_active = self.frogs[lane.index, active_idx]
+            dead = lane.rng.binomial(k_active, cfg.p_teleport)
+            self.counts[lane.index, active_idx] += dead
+            survivors = k_active - dead
+            ops = np.bincount(
+                masters[active_idx], weights=k_active, minlength=num_machines
+            ).astype(np.int64)
+            apply_ops += ops
+            lane.ledger.charge_ops(int(ops.sum()))
+            moving = survivors > 0
+            lane.sv = active_idx[moving]
+            lane.k_sv = survivors[moving].astype(np.int64)
+            scatter_mask[lane.sv] = True
+        state.charge_many(apply_ops, phase="apply")
+
+        sv_union = np.flatnonzero(scatter_mask)
+        if sv_union.size:
+            self._scatter_phase(live, sv_union)
+        else:
+            for lane, _ in live:
+                self.frogs[lane.index] = 0
+
+        self._close_superstep(
+            [lane for lane, _ in live], int(active_union.sum())
+        )
+        return True
+
     def _scatter_phase(
         self, live: list[tuple[_Lane, np.ndarray]], sv_union: np.ndarray
     ) -> None:
@@ -338,7 +1003,7 @@ class BatchedFrogWildRunner:
             sv, k_sv = lane.sv, lane.k_sv
             lane.sv = lane.k_sv = None
             if sv.size == 0:
-                lane.frogs = next_frogs
+                self.frogs[lane.index] = next_frogs
                 continue
             member_rows = position_of[sv]
             if member_rows.size == sv_union.size:
@@ -363,24 +1028,35 @@ class BatchedFrogWildRunner:
             if stranded.any():
                 if self.erasure.repairs_empty:
                     bad = np.flatnonzero(stranded)
-                    flat_pos = _choose_repair_positions(
-                        lane.rng, view.g_count, bad
-                    )
-                    enabled_grp = enabled_grp.copy()
-                    enabled_grp[flat_pos] = True
-                    machines = view.grp_machine[flat_pos]
-                    sources = masters[sv[bad]].astype(np.int64)
-                    remote = machines != sources
-                    if remote.any():
-                        extra = np.bincount(
-                            sources[remote] * num_machines + machines[remote],
-                            minlength=num_machines**2,
-                        ).reshape(num_machines, num_machines)
-                        repair_records += extra
-                        lane.ledger.charge_pair_records(extra)
-                        lane.ledger.charge_ops(int(extra.sum()))
+                    # Dangling vertices (no out-groups) cannot be
+                    # repaired: their frogs idle in place this step.
+                    dangling = view.g_count[bad] == 0
+                    if dangling.any():
+                        idle = bad[dangling]
+                        next_frogs[sv[idle]] += k_sv[idle]
+                        k_sv = k_sv.copy()
+                        k_sv[idle] = 0
+                        bad = bad[~dangling]
+                    if bad.size:
+                        flat_pos = _choose_repair_positions(
+                            lane.rng, view.g_count, bad
+                        )
+                        enabled_grp = enabled_grp.copy()
+                        enabled_grp[flat_pos] = True
+                        machines = view.grp_machine[flat_pos]
+                        sources = masters[sv[bad]].astype(np.int64)
+                        remote = machines != sources
+                        if remote.any():
+                            extra = np.bincount(
+                                sources[remote] * num_machines
+                                + machines[remote],
+                                minlength=num_machines**2,
+                            ).reshape(num_machines, num_machines)
+                            repair_records += extra
+                            lane.ledger.charge_pair_records(extra)
+                            lane.ledger.charge_ops(int(extra.sum()))
                 else:
-                    np.add.at(next_frogs, sv[stranded], k_sv[stranded])
+                    next_frogs[sv[stranded]] += k_sv[stranded]
                     k_sv = k_sv.copy()
                     k_sv[stranded] = 0
 
@@ -417,18 +1093,12 @@ class BatchedFrogWildRunner:
                     ).reshape(num_machines, num_machines)
                     frog_records += records
                     lane.ledger.charge_pair_records(records)
-            lane.frogs = next_frogs
+            self.frogs[lane.index] = next_frogs
 
         # -------- physical flush: whole batch, once per round ----------
-        if sync_records.any():
-            state.send_pair_matrix(sync_records, kind="sync")
-            state.charge_many(sync_records.sum(axis=0), phase="sync")
-        if repair_records.any():
-            state.send_pair_matrix(repair_records, kind="sync")
-            state.charge_many(repair_records.sum(axis=0), phase="sync")
-        state.charge_many(scatter_ops, phase="scatter")
-        if frog_records.any():
-            state.send_pair_matrix(frog_records, kind="scatter")
+        self._flush_round(
+            sync_records, repair_records, frog_records, scatter_ops
+        )
 
     # ------------------------------------------------------------------
     def _lane_report(self, lane: _Lane) -> RunReport:
@@ -482,6 +1152,17 @@ class BatchedFrogWildRunner:
                 "attributed_network_bytes": float(attributed),
                 "ps": float(cfg.ps),
                 "replication_factor": state.replication.replication_factor(),
+                "shared_sync": float(self.shared_sync_mode),
+                "wire_dedupe": float(self.wire_dedupe),
+                "sync_records": float(self.record_totals["sync"]),
+                "repair_records": float(self.record_totals["repair"]),
+                "frog_records": float(self.record_totals["frog"]),
+                "sync_demand_records": float(
+                    self.record_totals["sync_demand"]
+                ),
+                "frog_demand_records": float(
+                    self.record_totals["frog_demand"]
+                ),
             },
         )
 
@@ -557,12 +1238,14 @@ def run_frogwild_batch(
     size_model: MessageSizeModel | None = None,
     partition: EdgePartition | None = None,
     state: ClusterState | None = None,
+    kernel: str = "fused",
 ) -> BatchedFrogWildResult:
     """Run a batch of FrogWild queries through one shared traversal.
 
     Mirrors :func:`repro.core.run_frogwild`: pass a prebuilt ``state``
     to reuse an ingress across batches (the serving layer does), or let
-    this build one.
+    this build one.  ``kernel`` selects the fused lane-major kernel
+    (default) or the per-lane ``"lane-loop"`` reference implementation.
     """
     config = config or FrogWildConfig()
     if state is None:
@@ -575,4 +1258,4 @@ def run_frogwild_batch(
             seed=config.seed,
             partition=partition,
         )
-    return BatchedFrogWildRunner(state, config, queries).run()
+    return BatchedFrogWildRunner(state, config, queries, kernel=kernel).run()

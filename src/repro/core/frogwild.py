@@ -84,9 +84,10 @@ def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
 class _KernelTables:
     """Flat read-only views of the partitioned graph used per superstep.
 
-    Built once per :class:`ClusterState` and shared by the single-query
-    and batched runners; every array indexes the (vertex, machine)-sorted
-    out-edge grouping of :class:`~repro.cluster.ReplicationTable`.
+    Built once per *ingress* (see :func:`_kernel_tables`) and shared by
+    the single-query and batched runners; every array indexes the
+    (vertex, machine)-sorted out-edge grouping of
+    :class:`~repro.cluster.ReplicationTable`.
     """
 
     __slots__ = (
@@ -111,6 +112,17 @@ class _KernelTables:
         self.edge_target = og.sorted_other
         self.edge_host = og.edge_machine_sorted.astype(np.int64)
         self.out_degree = np.asarray(state.graph.out_degree(), dtype=np.int64)
+
+
+def _kernel_tables(state: ClusterState) -> _KernelTables:
+    """The per-ingress cached :class:`_KernelTables` of ``state``.
+
+    The tables derive purely from the replication tables, so states
+    sharing one ingress (the serving layer builds a fresh accounting
+    state per dispatched batch) share one build instead of paying the
+    flat-view construction on every batch.
+    """
+    return state.ingress_cache("kernel_tables", lambda: _KernelTables(state))
 
 
 class _GroupView:
@@ -220,7 +232,9 @@ def _scatter_multinomial(
     chosen = enabled_edges[pick]
     dest = tables.edge_target[chosen]
     host = tables.edge_host[chosen]
-    np.add.at(next_frogs, dest, 1)
+    # bincount beats np.add.at on the hot accumulation: one counting
+    # pass instead of per-element buffered scatter (bit-identical).
+    next_frogs += np.bincount(dest, minlength=next_frogs.size)
     return dest, host
 
 
@@ -251,7 +265,11 @@ def _scatter_binomial(
     chosen = candidate[nonzero]
     dest = tables.edge_target[chosen]
     host = tables.edge_host[chosen]
-    np.add.at(next_frogs, dest, sent[nonzero])
+    # Weighted bincount replaces np.add.at; float64 weights are exact
+    # for any frog count below 2**53, so results stay bit-identical.
+    next_frogs += np.bincount(
+        dest, weights=sent[nonzero], minlength=next_frogs.size
+    ).astype(np.int64)
     # Replicate per-frog host attribution for CPU/message accounting.
     dest = np.repeat(dest, sent[nonzero])
     host = np.repeat(host, sent[nonzero])
@@ -294,9 +312,18 @@ class FrogWildRunner:
         self.rng = np.random.default_rng(
             config.seed if config.seed is None else [104, config.seed]
         )
-        self.synchronizer = MirrorSynchronizer(state, config.ps, self.rng)
+        # The mirror bitmap and kernel tables are per-ingress caches:
+        # copy-on-disable keeps fault injection (repro.faults) from
+        # leaking crashed machines into later runs on the same ingress.
+        self.synchronizer = MirrorSynchronizer(
+            state,
+            config.ps,
+            self.rng,
+            mirror_matrix=MirrorSynchronizer.shared_mirror_matrix(state),
+            copy_on_disable=True,
+        )
         self.erasure = make_erasure_model(config.erasure_model)
-        self.tables = _KernelTables(state)
+        self.tables = _kernel_tables(state)
         self._masters = self.tables.masters
 
     # ------------------------------------------------------------------
@@ -344,7 +371,9 @@ class FrogWildRunner:
 
         # -------------------- apply(): teleport deaths ------------------
         dead = rng.binomial(k_active, cfg.p_teleport)
-        np.add.at(counts, active_idx, dead)
+        # active_idx entries are unique, so a fancy add is exact (and
+        # cheaper than np.add.at's buffered scatter).
+        counts[active_idx] += dead
         survivors = k_active - dead
         state.charge_many(
             np.bincount(
@@ -376,17 +405,30 @@ class FrogWildRunner:
         if stranded.any():
             if self.erasure.repairs_empty:
                 # At-Least-One-Out-Edge repair (Example 10): enable one
-                # uniform group each and force its synchronization.
+                # uniform group each and force its synchronization.  A
+                # dangling vertex (no out-groups at all) has nothing to
+                # repair: its frogs idle in place awaiting teleportation.
                 bad = np.flatnonzero(stranded)
-                flat_pos = _choose_repair_positions(rng, view.g_count, bad)
-                enabled_grp = enabled_grp.copy()
-                enabled_grp[flat_pos] = True
-                self.synchronizer.force_sync(
-                    sv[bad], view.grp_machine[flat_pos]
-                )
+                dangling = view.g_count[bad] == 0
+                if dangling.any():
+                    idle = bad[dangling]
+                    next_frogs[sv[idle]] += k_sv[idle]
+                    k_sv = k_sv.copy()
+                    k_sv[idle] = 0
+                    bad = bad[~dangling]
+                if bad.size:
+                    flat_pos = _choose_repair_positions(
+                        rng, view.g_count, bad
+                    )
+                    enabled_grp = enabled_grp.copy()
+                    enabled_grp[flat_pos] = True
+                    self.synchronizer.force_sync(
+                        sv[bad], view.grp_machine[flat_pos]
+                    )
             else:
                 # Independent erasures: frogs idle in place this step.
-                np.add.at(next_frogs, sv[stranded], k_sv[stranded])
+                # sv entries are unique, so the fancy add is exact.
+                next_frogs[sv[stranded]] += k_sv[stranded]
                 k_sv = k_sv.copy()
                 k_sv[stranded] = 0
 

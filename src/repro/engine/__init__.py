@@ -5,7 +5,13 @@ from .breakdown import PhaseBreakdown, traffic_breakdown
 from .bsp import BSPEngine
 from .program import ApplyResult, BulkVertexProgram
 from .state import ClusterState, build_cluster
-from .stats import CostLedger, EngineStats, RunReport, StepRecord
+from .stats import (
+    CostLedger,
+    EngineStats,
+    RunReport,
+    StepRecord,
+    apportion_records,
+)
 from .sync import MirrorSynchronizer, sync_pair_records
 
 __all__ = [
@@ -17,6 +23,7 @@ __all__ = [
     "ClusterState",
     "build_cluster",
     "CostLedger",
+    "apportion_records",
     "EngineStats",
     "RunReport",
     "StepRecord",

@@ -66,6 +66,33 @@ class ClusterState:
         return self.graph.num_vertices
 
     # ------------------------------------------------------------------
+    # Derived-structure cache (per ingress, not per state)
+    # ------------------------------------------------------------------
+    def ingress_cache(self, key: str, build):
+        """Memoize a derived read-only structure on this state's ingress.
+
+        The serving layer builds a *fresh* :class:`ClusterState` per
+        dispatched batch (clean traffic/CPU/time accounting) while
+        sharing one :class:`~repro.cluster.ReplicationTable`; anything
+        derived purely from that ingress — the FrogWild kernel tables,
+        the mirror bitmap — is therefore identical across those states.
+        This memo lives on the replication table itself, so it is built
+        once per ingress and reused by every batch, and is dropped
+        automatically when a live-graph refresh replaces the table.
+
+        Callers must treat cached values as immutable (or copy-on-write
+        them, as :meth:`~repro.engine.MirrorSynchronizer.disable_machine`
+        does): they are shared across executions.
+        """
+        cache = getattr(self.replication, "_ingress_cache", None)
+        if cache is None:
+            cache = {}
+            self.replication._ingress_cache = cache
+        if key not in cache:
+            cache[key] = build()
+        return cache[key]
+
+    # ------------------------------------------------------------------
     # Accounting primitives
     # ------------------------------------------------------------------
     def charge(self, machine: int, ops: int, phase: str = "compute") -> None:
@@ -98,13 +125,14 @@ class ClusterState:
 
         ``records[s, d]`` is the number of records machine ``s`` sends to
         machine ``d`` this superstep (diagonal ignored: local is free).
+        Delegates to the fabric's vectorized matrix send — one pass over
+        the pair matrix instead of a Python call per machine pair.
         """
         records = np.asarray(records)
         if records.shape != (self.num_machines, self.num_machines):
             raise EngineError("record matrix shape mismatch")
-        senders, receivers = np.nonzero(records)
-        for s, d in zip(senders, receivers):
-            self.send_batched(int(s), int(d), int(records[s, d]), kind)
+        _, messages = self.fabric.send_matrix(records, kind)
+        self._step_messages += messages
 
     # ------------------------------------------------------------------
     # Barrier

@@ -60,13 +60,24 @@ class MirrorSynchronizer:
     rng:
         Source of the per-mirror coins.
     mirror_matrix:
-        Optional prebuilt mirror bitmap (from :meth:`build_mirror_matrix`)
-        shared across synchronizers running on the same cluster — the
-        batched runner creates one synchronizer per frog population and
-        the bitmap is the only per-instance O(n·machines) state.  Sharers
-        observe each other's :meth:`disable_machine` calls, which is the
-        physically correct coupling (a crashed machine is crashed for
-        every population).
+        Optional prebuilt mirror bitmap (from :meth:`build_mirror_matrix`
+        or the per-ingress cache of :meth:`shared_mirror_matrix`) shared
+        across synchronizers running on the same cluster — the bitmap is
+        the only per-instance O(n·machines) state.  Sharers of a plain
+        (non-``copy_on_disable``) matrix observe each other's
+        :meth:`disable_machine` calls; with ``copy_on_disable`` each
+        synchronizer forks privately on its first disable, so machine
+        crashes are per-run state (fault injection currently drives the
+        single-query runner only — the batched runners read the shared
+        bitmap for coin draws and do not expose a crash path).
+    copy_on_disable:
+        Mark ``mirror_matrix`` as a read-shared structure (the
+        per-ingress cache of :meth:`shared_mirror_matrix`): the first
+        :meth:`disable_machine` call forks a private copy instead of
+        mutating the shared bitmap, so fault injection in one run can
+        never leak crashed machines into later runs on the same
+        ingress.  Sharers of a *batch-local* matrix (the coupling
+        described above) should leave this False.
     """
 
     def __init__(
@@ -75,6 +86,7 @@ class MirrorSynchronizer:
         ps: float,
         rng: np.random.Generator,
         mirror_matrix: np.ndarray | None = None,
+        copy_on_disable: bool = False,
     ) -> None:
         if not 0.0 <= ps <= 1.0:
             raise EngineError(f"ps must lie in [0, 1], got {ps}")
@@ -96,6 +108,7 @@ class MirrorSynchronizer:
         # mirror_matrix[v, p]: machine p holds a *mirror* (non-master
         # replica) of vertex v.
         self._mirror_matrix = mirror_matrix
+        self._copy_on_disable = copy_on_disable
         self._num_machines = num_machines
 
     @staticmethod
@@ -105,6 +118,19 @@ class MirrorSynchronizer:
         matrix = repl.replica_matrix.copy()
         matrix[np.arange(repl.masters.size), repl.masters] = False
         return matrix
+
+    @classmethod
+    def shared_mirror_matrix(cls, state: ClusterState) -> np.ndarray:
+        """The per-ingress cached mirror bitmap (built once, reused).
+
+        Pass the result as ``mirror_matrix`` together with
+        ``copy_on_disable=True``: reads share the cached array across
+        every run on the same ingress, while :meth:`disable_machine`
+        forks a private copy before writing.
+        """
+        return state.ingress_cache(
+            "mirror_matrix", lambda: cls.build_mirror_matrix(state)
+        )
 
     def draw_fresh(
         self, vertices: np.ndarray
@@ -160,6 +186,9 @@ class MirrorSynchronizer:
             raise EngineError(
                 f"machine {machine} out of range [0, {self._num_machines})"
             )
+        if self._copy_on_disable:
+            self._mirror_matrix = self._mirror_matrix.copy()
+            self._copy_on_disable = False
         self._mirror_matrix[:, machine] = False
 
     def force_sync(self, vertices: np.ndarray, machines: np.ndarray) -> None:

@@ -25,8 +25,12 @@ Both expose the same contract, so the service, the scheduler, the CLI
 and the benchmarks are layout-agnostic.  The seam is also where the
 live layer plugs in: :class:`repro.live.EpochManager` is an
 atomically swappable backend *proxy* that lets a refreshed graph
-replace either layout between batches.  Wire dedupe (ROADMAP) plugs in
-here next.
+replace either layout between batches.  The fused-kernel execution
+modes plug in here too: both backends run the lane-major fused batch
+kernel by default (``kernel=`` selects the pre-fusion reference
+implementation for benchmarking), and the config's ``sync_mode`` /
+``wire_dedupe`` fields flow through ``run_batch`` unchanged — a
+sharded deployment dedupes frog records within each shard's wire.
 """
 
 from __future__ import annotations
@@ -194,6 +198,7 @@ class LocalBackend:
         size_model: MessageSizeModel | None = None,
         seed: int | None = 0,
         replication: ReplicationTable | None = None,
+        kernel: str = "fused",
     ) -> None:
         if graph.num_vertices == 0:
             raise ConfigError("cannot serve an empty graph")
@@ -202,6 +207,7 @@ class LocalBackend:
         self.cost_model = cost_model
         self.size_model = size_model
         self.seed = seed
+        self.kernel = kernel
         if replication is None:
             partition = make_partitioner(partitioner, seed).partition(
                 graph, num_machines
@@ -229,6 +235,7 @@ class LocalBackend:
             [BatchQuery(start_distribution=d) for d in distributions],
             config,
             state=self.fresh_state(),
+            kernel=self.kernel,
         )
         return BatchOutcome(
             lanes=tuple(
@@ -285,9 +292,11 @@ class ShardedBackend:
         seed: int | None = 0,
         num_frogs: int | None = None,
         replications: Sequence[ReplicationTable] | None = None,
+        kernel: str = "fused",
     ) -> None:
         if graph.num_vertices == 0:
             raise ConfigError("cannot serve an empty graph")
+        self.kernel = kernel
         fleet = num_machines if num_machines is not None else 16
         if num_shards is None:
             # Shard-count autotuning: size the fan-out to the fleet, the
@@ -402,6 +411,7 @@ class ShardedBackend:
                 ],
                 config,
                 state=self.fresh_state(shard),
+                kernel=self.kernel,
             )
             for lanes, shard_lane in zip(per_query_lanes, result.results):
                 lanes.append(shard_lane)
