@@ -14,7 +14,6 @@ workload and checks the documented trade-off:
   (lower replication factor → less sync traffic).
 """
 
-import numpy as np
 import pytest
 
 from conftest import run_once

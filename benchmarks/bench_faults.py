@@ -11,7 +11,6 @@ partial synchronization:
   the straggler less sync work and claws back wall-clock time.
 """
 
-import numpy as np
 import pytest
 
 from conftest import run_once

@@ -15,7 +15,6 @@ Shape criteria asserted at simulator scale:
 * 1d — CPU: FrogWild below every GraphLab PR variant.
 """
 
-import pytest
 
 from conftest import by_algorithm, run_once, write_figure_text
 from repro.experiments import figure1

@@ -16,10 +16,15 @@ ingress only for the edges that actually changed.  Asserted here:
 Run directly: ``python -m pytest benchmarks/bench_live_serving.py -q``.
 Headline numbers are persisted via
 :func:`repro.experiments.record_perf` into ``BENCH_serving.json``.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the graph and frog budget for the CI
+perf-gate lane: same assertions, same records, a fraction of the wall
+clock.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -32,14 +37,17 @@ from repro.graph import rmat
 from repro.live import LiveRankingService
 from repro.serving import RankingQuery
 
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
 MACHINES = 8
 TICKS = 4
-CONFIG = FrogWildConfig(num_frogs=2_000, iterations=4, seed=0)
+CONFIG = FrogWildConfig(
+    num_frogs=800 if SMOKE else 2_000, iterations=4, seed=0
+)
 
 
 @pytest.fixture(scope="module")
 def live_setup():
-    graph = rmat(scale=12, edge_factor=12, seed=11)
+    graph = rmat(scale=10 if SMOKE else 12, edge_factor=12, seed=11)
     dynamic = DynamicDiGraph.from_digraph(graph)
     service = LiveRankingService(
         dynamic, config=CONFIG, num_machines=MACHINES, seed=0
@@ -86,6 +94,7 @@ def test_live_refresh_reuses_ingress_and_keeps_serving(live_setup):
         f"{live['lifetime_reuse_ratio']:.4f}; mean refresh "
         f"{np.mean(refresh_times):.4f}s"
     )
+    history = service.refresh_history
     record_perf(
         "live-serving-refresh",
         {
@@ -95,6 +104,15 @@ def test_live_refresh_reuses_ingress_and_keeps_serving(live_setup):
             "amortization_ratio": service.stats.amortization_ratio(),
             "epochs_published": live["epochs_published"],
             "ticks": TICKS,
+            "mean_vertices_patched": float(
+                np.mean([u.vertices_patched for u in history])
+            ),
+            "table_rebuilds": float(
+                sum(u.table_rebuilds for u in history)
+            ),
+            "mean_publish_s": float(
+                np.mean([u.publish_s for u in history])
+            ),
         },
     )
 

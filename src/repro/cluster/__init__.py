@@ -9,10 +9,12 @@ from .partition import (
     HdrfVertexCut,
     ObliviousVertexCut,
     Partitioner,
+    PlacementDiff,
     RandomVertexCut,
     StableHashVertexCut,
     grid_shape,
     make_partitioner,
+    placement_diff,
     stable_hash_machines,
 )
 from .replication import ReplicationTable
@@ -24,6 +26,8 @@ __all__ = [
     "NetworkFabric",
     "TrafficSnapshot",
     "EdgePartition",
+    "PlacementDiff",
+    "placement_diff",
     "Partitioner",
     "RandomVertexCut",
     "ObliviousVertexCut",

@@ -14,7 +14,7 @@ from .batched import (
     merge_shard_results,
     run_frogwild_batch,
 )
-from .config import FrogWildConfig
+from .config import FrogWildConfig, RefreshPolicy
 from .erasures import (
     AtLeastOneOutEdge,
     ErasureModel,
@@ -44,6 +44,7 @@ __all__ = [
     "run_adaptive_frogwild",
     "top_k_jaccard",
     "FrogWildConfig",
+    "RefreshPolicy",
     "FrogWildResult",
     "FrogWildRunner",
     "run_frogwild",

@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 
 from ..errors import ConfigError
 
-__all__ = ["FrogWildConfig"]
+__all__ = ["FrogWildConfig", "RefreshPolicy"]
 
 _SCATTER_MODES = ("multinomial", "binomial")
 _ERASURE_MODELS = ("at-least-one", "independent")
@@ -120,3 +120,51 @@ class FrogWildConfig:
     def with_updates(self, **changes) -> "FrogWildConfig":
         """Return a copy with the given fields replaced (validated)."""
         return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """How a live service turns graph churn into published epochs.
+
+    Consumed by :class:`~repro.live.IncrementalReplication` (table
+    maintenance) and :class:`~repro.live.BackgroundRefresher` (the
+    off-query-path pipeline).
+
+    Attributes
+    ----------
+    full_rebuild_fraction:
+        When a refresh's *projected regroup work* — the incident edges
+        of every vertex the placement diff touched, the real cost
+        driver of a table patch — exceeds this fraction of a
+        from-scratch build's regroup work (twice the edge count: both
+        grouping directions), the replication tables are rebuilt from
+        scratch instead of patched.  The gate deliberately counts
+        incident edges rather than changed keys: on power-law graphs a
+        few churned hub edges touch hubs owning most of the edge set,
+        and past this point the from-scratch build's single radix sort
+        beats sorting nearly everything piecewise.  ``1.0`` always
+        patches; ``0.0`` rebuilds on any change (the pre-incremental
+        behavior).
+    coalesce:
+        Whether the background refresher may cover several queued deltas
+        with one epoch build when deltas arrive faster than builds
+        complete.  With ``False`` every delta gets its own epoch, at the
+        price of an ever-growing build queue under sustained churn.
+    max_pending:
+        Bound on queued-but-unbuilt background deltas; a submit beyond
+        it blocks until the worker drains (*backpressure*, not data
+        loss).  ``None`` leaves the queue unbounded.
+    """
+
+    full_rebuild_fraction: float = 0.25
+    coalesce: bool = True
+    max_pending: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.full_rebuild_fraction <= 1.0:
+            raise ConfigError(
+                "full_rebuild_fraction must lie in [0, 1], got "
+                f"{self.full_rebuild_fraction}"
+            )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ConfigError("max_pending must be positive (or None)")

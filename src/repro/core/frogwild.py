@@ -101,17 +101,16 @@ class _KernelTables:
         "out_degree",
     )
 
-    def __init__(self, state: ClusterState) -> None:
-        repl = state.replication
-        og = repl.out_groups
-        self.masters = repl.masters
+    def __init__(self, replication, out_degree: np.ndarray) -> None:
+        og = replication.out_groups
+        self.masters = replication.masters
         self.vertex_ptr = og.vertex_ptr
         self.group_machine = og.group_machine.astype(np.int64)
         self.group_start = og.group_start
         self.group_sizes = og.group_sizes()
         self.edge_target = og.sorted_other
         self.edge_host = og.edge_machine_sorted.astype(np.int64)
-        self.out_degree = np.asarray(state.graph.out_degree(), dtype=np.int64)
+        self.out_degree = np.asarray(out_degree, dtype=np.int64)
 
 
 def _kernel_tables(state: ClusterState) -> _KernelTables:
@@ -122,7 +121,34 @@ def _kernel_tables(state: ClusterState) -> _KernelTables:
     state per dispatched batch) share one build instead of paying the
     flat-view construction on every batch.
     """
-    return state.ingress_cache("kernel_tables", lambda: _KernelTables(state))
+    return state.ingress_cache(
+        "kernel_tables",
+        lambda: _KernelTables(state.replication, state.graph.out_degree()),
+    )
+
+
+def prime_ingress_caches(replication, graph) -> None:
+    """Pre-seed ``replication``'s per-ingress derived-structure cache.
+
+    Fills the entries :meth:`~repro.engine.ClusterState.ingress_cache`
+    would otherwise build lazily on the first batch after an ingress
+    appears: the flat kernel tables and the mirror bitmap.  The live
+    refresh pipeline (:class:`~repro.live.IncrementalReplication`) calls
+    this off the query path after patching a table, so a freshly
+    published epoch serves its first batch with warm tables — the group
+    arrays the kernel tables view were spliced, not recomputed, for
+    every vertex the refresh did not touch.  Idempotent: existing cache
+    entries are kept.
+    """
+    cache = replication._ingress_cache
+    if "kernel_tables" not in cache:
+        cache["kernel_tables"] = _KernelTables(
+            replication, graph.out_degree()
+        )
+    if "mirror_matrix" not in cache:
+        cache["mirror_matrix"] = MirrorSynchronizer.mirror_matrix_for(
+            replication
+        )
 
 
 class _GroupView:

@@ -66,7 +66,6 @@ class ChurnGenerator:
     def step(self, graph: DynamicDiGraph) -> GraphDelta:
         """One churn batch against the graph's *current* state."""
         m = graph.num_edges
-        n = graph.num_vertices
         num_add = int(round(self.add_rate * m))
         num_remove = int(round(self.remove_rate * m))
 

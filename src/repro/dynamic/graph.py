@@ -118,12 +118,22 @@ class DynamicDiGraph:
         self._check_vertex(source)
         self._check_vertex(target)
         key = source * self._n + target
-        pos = np.searchsorted(self._keys, key)
-        return bool(pos < self._keys.size and self._keys[pos] == key)
+        # Single read of the key array: mutators replace it wholesale
+        # (never in place), so one load is a consistent snapshot even
+        # when a background refresh applies deltas concurrently.
+        keys = self._keys
+        pos = np.searchsorted(keys, key)
+        return bool(pos < keys.size and keys[pos] == key)
 
     def edge_array(self) -> np.ndarray:
-        """Current edges as ``(m, 2)`` rows, sorted by (source, target)."""
-        return np.column_stack([self._keys // self._n, self._keys % self._n])
+        """Current edges as ``(m, 2)`` rows, sorted by (source, target).
+
+        Reads the key array exactly once, so the result is a consistent
+        snapshot even under concurrent :meth:`apply` from another
+        thread (mutators replace the array, they never mutate it).
+        """
+        keys = self._keys
+        return np.column_stack([keys // self._n, keys % self._n])
 
     def out_degree(self) -> np.ndarray:
         """Current out-degree vector."""

@@ -22,7 +22,7 @@ Two system points make the per-update cost realistic:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

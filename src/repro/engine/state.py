@@ -80,6 +80,14 @@ class ClusterState:
         once per ingress and reused by every batch, and is dropped
         automatically when a live-graph refresh replaces the table.
 
+        The live refresh pipeline *pre-seeds* this cache: when
+        :class:`~repro.live.IncrementalReplication` patches a table to a
+        new snapshot it calls
+        :func:`repro.core.frogwild.prime_ingress_caches` off the query
+        path, so the entries are already warm when the first batch of
+        the new epoch arrives — built from spliced group arrays rather
+        than recomputed per epoch.
+
         Callers must treat cached values as immutable (or copy-on-write
         them, as :meth:`~repro.engine.MirrorSynchronizer.disable_machine`
         does): they are shared across executions.

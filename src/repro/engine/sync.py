@@ -112,12 +112,21 @@ class MirrorSynchronizer:
         self._num_machines = num_machines
 
     @staticmethod
-    def build_mirror_matrix(state: ClusterState) -> np.ndarray:
-        """Mirror bitmap of the cluster: replicas minus masters."""
-        repl = state.replication
-        matrix = repl.replica_matrix.copy()
-        matrix[np.arange(repl.masters.size), repl.masters] = False
+    def mirror_matrix_for(replication) -> np.ndarray:
+        """Mirror bitmap of one replication table: replicas minus masters.
+
+        The single definition of "mirror" shared by the lazy per-state
+        build below and the live refresh pipeline's off-query-path cache
+        pre-seeding (:func:`repro.core.frogwild.prime_ingress_caches`).
+        """
+        matrix = replication.replica_matrix.copy()
+        matrix[np.arange(replication.masters.size), replication.masters] = False
         return matrix
+
+    @classmethod
+    def build_mirror_matrix(cls, state: ClusterState) -> np.ndarray:
+        """Mirror bitmap of the cluster: replicas minus masters."""
+        return cls.mirror_matrix_for(state.replication)
 
     @classmethod
     def shared_mirror_matrix(cls, state: ClusterState) -> np.ndarray:

@@ -17,7 +17,7 @@ Three failure modes cover what a BSP graph engine actually suffers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError
 

@@ -13,13 +13,24 @@ follow, incrementally, while user traffic keeps flowing.  Three pieces:
   their machine, so a refresh pays ingress only for what changed, with
   a tracked reuse ratio and a full re-salted repartition fallback when
   load imbalance drifts past a threshold.
+* :class:`IncrementalReplication` — the same discipline for each
+  machine's *derived* structures: the master/mirror and grouped
+  adjacency tables (:class:`~repro.cluster.ReplicationTable`) are
+  patched from the placement diff, re-sorting only the vertices a delta
+  touched and splicing the rest, with the per-ingress kernel-table
+  cache pre-seeded so a fresh epoch serves its first batch warm.
 * :class:`EpochManager` — versioned, atomically swappable backend
   state behind the :class:`~repro.serving.ExecutionBackend` seam.
+* :class:`BackgroundRefresher` — runs the whole build pipeline on a
+  worker thread, double-buffering the next epoch and coalescing deltas
+  that arrive faster than builds complete; the query path pays only the
+  atomic swap.
 * :class:`LiveRankingService` — a :class:`~repro.serving.RankingService`
-  wired to both: :meth:`~LiveRankingService.refresh` applies a delta,
-  reconciles placements, snapshots, and publishes the next epoch, whose
-  id doubles as the cache generation so stale top-k entries invalidate
-  exactly on refresh.
+  wired to all of it: :meth:`~LiveRankingService.refresh` applies a
+  delta, reconciles placements, patches tables, snapshots, and
+  publishes the next epoch, whose id doubles as the cache generation so
+  stale top-k entries invalidate exactly on refresh;
+  :meth:`~LiveRankingService.refresh_async` does the same off-thread.
 
 **The epoch-swap invariant.**  Every batch pins its epoch exactly once,
 at dispatch (:meth:`EpochManager.run_batch` reads the current epoch a
@@ -32,14 +43,25 @@ ever dropped by a swap or answered by a mix of two graph versions.
 """
 
 from .epoch import Epoch, EpochManager
-from .ingress import IncrementalIngress, IngressUpdate
+from .ingress import (
+    IncrementalIngress,
+    IncrementalReplication,
+    IngressUpdate,
+    ReplicationPatch,
+)
+from .refresh import BackgroundRefresher, RefresherStats, RefreshTicket
 from .service import LiveRankingService, RefreshUpdate
 
 __all__ = [
     "Epoch",
     "EpochManager",
     "IncrementalIngress",
+    "IncrementalReplication",
     "IngressUpdate",
+    "ReplicationPatch",
+    "BackgroundRefresher",
+    "RefresherStats",
+    "RefreshTicket",
     "LiveRankingService",
     "RefreshUpdate",
 ]

@@ -72,6 +72,18 @@ class EpochManager:
         #: Batches and queries executed per epoch sequence number.
         self.batches_per_epoch: dict[int, int] = {}
         self.queries_per_epoch: dict[int, int] = {}
+        self._inflight_batches = 0
+        #: Publishes that landed while at least one batch was pinned to
+        #: the previous epoch — the exact situation the swap-only
+        #: publish path exists for (a background build finishing while
+        #: queries execute).  Those batches finish on their pinned epoch.
+        self.publishes_mid_flight = 0
+
+    @property
+    def inflight_batches(self) -> int:
+        """Batches currently executing on some pinned epoch."""
+        with self._lock:
+            return self._inflight_batches
 
     # ------------------------------------------------------------------
     @property
@@ -114,6 +126,8 @@ class EpochManager:
                 )
             self._current = epoch
             self.epochs_published += 1
+            if self._inflight_batches > 0:
+                self.publishes_mid_flight += 1
         return previous
 
     # ------------------------------------------------------------------
@@ -127,8 +141,14 @@ class EpochManager:
         stamped with the epoch it ran on (``report.extra["epoch"]``)
         so provenance survives into cached answers.
         """
-        epoch = self.current
-        outcome = epoch.backend.run_batch(config, queries)
+        with self._lock:
+            epoch = self._current
+            self._inflight_batches += 1
+        try:
+            outcome = epoch.backend.run_batch(config, queries)
+        finally:
+            with self._lock:
+                self._inflight_batches -= 1
         for lane in outcome.lanes:
             lane.report.extra["epoch"] = float(epoch.epoch_id)
             lane.report.extra["epoch_sequence"] = float(epoch.sequence)

@@ -13,29 +13,39 @@ whose backend follows the graph.  It owns three live-layer pieces:
   generation so stale top-k entries invalidate exactly on refresh.
 
 :meth:`LiveRankingService.refresh` is the whole lifecycle: apply the
-delta (if given), reconcile placements, snapshot, rebuild the backend
-on the reused ingress, publish the next epoch.  In-flight batches
-finish on the epoch they pinned; queries queued in the scheduler
-dispatch on whichever epoch is current when their batch leaves.
+delta (if given), reconcile placements, patch the replication tables,
+snapshot, build the backend on the reused structures, publish the next
+epoch.  In-flight batches finish on the epoch they pinned; queries
+queued in the scheduler dispatch on whichever epoch is current when
+their batch leaves.
 
-Simulation honesty note: what is maintained incrementally is the
-*placement* — the machine assignment whose (re)shipment is the ingress
+Both halves of refresh cost are maintained incrementally: the
+*placement* (the machine assignment whose (re)shipment is the ingress
 wire cost a real deployment pays per refresh, reported as
-``new_placements`` per update.  The in-memory grouped-adjacency tables
-(:class:`~repro.cluster.ReplicationTable`) are rebuilt per epoch; that
-is each machine's local index build, which the paper also excludes
-from measurement.
+``new_placements``) by :class:`~repro.live.IncrementalIngress`, and
+each machine's local index — the grouped-adjacency
+:class:`~repro.cluster.ReplicationTable` — by
+:class:`~repro.live.IncrementalReplication`, which patches only the
+vertices a delta touched (``vertices_patched``/``edges_regrouped`` per
+update) instead of rebuilding per epoch.
+
+The pipeline itself can leave the caller's thread entirely:
+:meth:`LiveRankingService.refresh_async` hands the delta to a
+:class:`~repro.live.BackgroundRefresher`, which double-buffers the next
+epoch on a worker thread and coalesces deltas that arrive faster than
+builds complete; the query path pays only the atomic epoch swap.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from ..cluster import CostModel, MessageSizeModel, ReplicationTable
-from ..core import FrogWildConfig
+from ..cluster import CostModel, MessageSizeModel
+from ..core import FrogWildConfig, RefreshPolicy
 from ..dynamic import ChurnGenerator, DynamicDiGraph, GraphDelta
 from ..errors import ConfigError
 from ..graph import DiGraph
@@ -47,14 +57,32 @@ from ..serving import (
     choose_num_shards,
 )
 from .epoch import Epoch, EpochManager
-from .ingress import IncrementalIngress, IngressUpdate
+from .ingress import (
+    IncrementalIngress,
+    IncrementalReplication,
+    IngressUpdate,
+    ReplicationPatch,
+)
+from .refresh import BackgroundRefresher, RefreshTicket
 
 __all__ = ["RefreshUpdate", "LiveRankingService"]
 
 
 @dataclass(frozen=True)
 class RefreshUpdate:
-    """Record of one refresh: churn applied, ingress reused, epoch out."""
+    """Record of one refresh: churn applied, ingress reused, epoch out.
+
+    ``vertices_patched``/``edges_regrouped`` are the replication-table
+    maintenance cost (summed over shards): how many vertices had their
+    replica/master/grouping structures rebuilt and how many edges were
+    re-sorted to do it — O(churn), not O(graph), unless
+    ``table_rebuilds`` says a shard fell back to a from-scratch build.
+    ``build_time_s`` covers apply → reconcile → table patch → snapshot →
+    backend build; ``publish_s`` is the atomic swap alone — the only
+    part the query path ever waits on.  ``coalesced_deltas`` counts the
+    submitted deltas this epoch covered (> 1 when a background build
+    absorbed a backlog); ``background`` says which pipeline ran it.
+    """
 
     epoch: int
     sequence: int
@@ -68,6 +96,13 @@ class RefreshUpdate:
     full_repartitions: int
     in_flight_batches: int
     refresh_time_s: float
+    vertices_patched: int = 0
+    edges_regrouped: int = 0
+    table_rebuilds: int = 0
+    build_time_s: float = 0.0
+    publish_s: float = 0.0
+    coalesced_deltas: int = 1
+    background: bool = False
 
 
 class LiveRankingService(RankingService):
@@ -87,6 +122,9 @@ class LiveRankingService(RankingService):
     rebalance_threshold:
         Per-ingress load-imbalance bound beyond which a refresh falls
         back to a full re-salted repartition (``None`` disables).
+    refresh_policy:
+        :class:`~repro.core.RefreshPolicy` governing table-patch
+        fallback, background coalescing and queue backpressure.
     """
 
     def __init__(
@@ -104,12 +142,22 @@ class LiveRankingService(RankingService):
         clock: Callable[[], float] | None = None,
         max_delay_s: float | None = None,
         rebalance_threshold: float | None = 2.0,
+        refresh_policy: RefreshPolicy | None = None,
     ) -> None:
         if not isinstance(graph, DynamicDiGraph):
             graph = DynamicDiGraph.from_digraph(graph)
         self.source = graph
         self.rebalance_threshold = rebalance_threshold
+        self.refresh_policy = refresh_policy or RefreshPolicy()
         self.refresh_history: list[RefreshUpdate] = []
+        # Serializes the whole build pipeline (graph mutation, ingress
+        # reconcile, table patch, snapshot, publish) between synchronous
+        # refresh() callers and the background refresher's worker.  The
+        # query path never takes it.
+        self._refresh_lock = threading.Lock()
+        self.refresher: BackgroundRefresher | None = None
+        self.replicators: list[IncrementalReplication] | None = None
+        self._last_patches: list[ReplicationPatch] = []
         effective = config or FrogWildConfig(seed=seed)
         if num_shards is None:
             num_shards = choose_num_shards(
@@ -177,7 +225,31 @@ class LiveRankingService(RankingService):
         return self.epochs.current
 
     def _build_backend(self, snapshot: DiGraph) -> ExecutionBackend:
-        """One epoch's execution backend over the maintained ingress."""
+        """One epoch's execution backend over the maintained structures.
+
+        First call builds the per-shard replication tables from scratch
+        (construction ingress, paid once); every later call *patches*
+        them to the new snapshot via :class:`IncrementalReplication` —
+        the patch records land in ``self._last_patches`` for the
+        refresh summary.
+        """
+        if self.replicators is None:
+            self.replicators = [
+                IncrementalReplication(
+                    ingress,
+                    snapshot,
+                    seed=self._seed,
+                    policy=self.refresh_policy,
+                )
+                for ingress in self.ingresses
+            ]
+            self._last_patches = []
+        else:
+            self._last_patches = [
+                replicator.refresh(snapshot)
+                for replicator in self.replicators
+            ]
+        tables = [replicator.table for replicator in self.replicators]
         if self._live_shards > 1:
             return ShardedBackend(
                 snapshot,
@@ -186,14 +258,7 @@ class LiveRankingService(RankingService):
                 cost_model=self._cost_model,
                 size_model=self._size_model,
                 seed=self._seed,
-                replications=[
-                    ReplicationTable(
-                        snapshot,
-                        ingress.partition_for(snapshot),
-                        seed=self._seed,
-                    )
-                    for ingress in self.ingresses
-                ],
+                replications=tables,
             )
         return LocalBackend(
             snapshot,
@@ -201,11 +266,7 @@ class LiveRankingService(RankingService):
             cost_model=self._cost_model,
             size_model=self._size_model,
             seed=self._seed,
-            replication=ReplicationTable(
-                snapshot,
-                self.ingresses[0].partition_for(snapshot),
-                seed=self._seed,
-            ),
+            replication=tables[0],
         )
 
     # ------------------------------------------------------------------
@@ -215,35 +276,68 @@ class LiveRankingService(RankingService):
         With ``delta=None`` the source graph is assumed to have been
         churned externally (e.g. by
         :meth:`~repro.dynamic.ChurnGenerator.stream` with ``apply=True``)
-        and the refresh just reconciles and republishes.
+        and the refresh just reconciles and republishes.  Synchronous:
+        the epoch is published when this returns.  See
+        :meth:`refresh_async` for the off-thread variant.
         """
-        start = time.perf_counter()
-        edges_added = edges_removed = 0
-        if delta is not None:
-            edges_added, edges_removed = self.source.apply(delta)
-        updates = [ingress.sync() for ingress in self.ingresses]
-        snapshot = self.source.snapshot()
-        backend = self._build_backend(snapshot)
-        previous = self.epochs.current
-        in_flight = self.scheduler.active_dispatches
-        self.epochs.publish(
-            Epoch(
-                epoch_id=self.source.version,
-                sequence=previous.sequence + 1,
-                graph=snapshot,
-                backend=backend,
+        return self._refresh_pipeline(
+            [] if delta is None else [delta], background=False, coalesced=1
+        )
+
+    def _refresh_pipeline(
+        self,
+        deltas: list[GraphDelta],
+        background: bool,
+        coalesced: int,
+        on_built: Callable[["LiveRankingService"], None] | None = None,
+    ) -> RefreshUpdate:
+        """The full refresh: apply → reconcile → patch → build → publish.
+
+        One build may cover several deltas (background coalescing); the
+        published epoch reflects all of them.  Everything up to and
+        including the backend build happens before the current epoch is
+        touched — the next epoch is double-buffered — and the publish at
+        the end is nothing but the atomic swap.
+        """
+        with self._refresh_lock:
+            start = time.perf_counter()
+            edges_added = edges_removed = 0
+            for delta in deltas:
+                added, removed = self.source.apply(delta)
+                edges_added += added
+                edges_removed += removed
+            updates = [ingress.sync() for ingress in self.ingresses]
+            snapshot = self.source.snapshot()
+            backend = self._build_backend(snapshot)
+            build_time = time.perf_counter() - start
+            if on_built is not None:
+                on_built(self)
+            previous = self.epochs.current
+            in_flight = self.scheduler.active_dispatches
+            publish_start = time.perf_counter()
+            self.epochs.publish(
+                Epoch(
+                    epoch_id=self.source.version,
+                    sequence=previous.sequence + 1,
+                    graph=snapshot,
+                    backend=backend,
+                )
             )
-        )
-        self.graph = snapshot
-        update = self._summarize(
-            updates,
-            edges_added=edges_added,
-            edges_removed=edges_removed,
-            in_flight=in_flight,
-            elapsed=time.perf_counter() - start,
-        )
-        self.refresh_history.append(update)
-        return update
+            publish_s = time.perf_counter() - publish_start
+            self.graph = snapshot
+            update = self._summarize(
+                updates,
+                edges_added=edges_added,
+                edges_removed=edges_removed,
+                in_flight=in_flight,
+                elapsed=time.perf_counter() - start,
+                build_time_s=build_time,
+                publish_s=publish_s,
+                coalesced=coalesced,
+                background=background,
+            )
+            self.refresh_history.append(update)
+            return update
 
     def _summarize(
         self,
@@ -252,11 +346,16 @@ class LiveRankingService(RankingService):
         edges_removed: int,
         in_flight: int,
         elapsed: float,
+        build_time_s: float = 0.0,
+        publish_s: float = 0.0,
+        coalesced: int = 1,
+        background: bool = False,
     ) -> RefreshUpdate:
         placed = sum(
             u.reused_placements + u.new_placements for u in updates
         )
         reused = sum(u.reused_placements for u in updates)
+        patches = self._last_patches
         epoch = self.epochs.current
         return RefreshUpdate(
             epoch=epoch.epoch_id,
@@ -271,18 +370,73 @@ class LiveRankingService(RankingService):
             full_repartitions=sum(u.full_repartition for u in updates),
             in_flight_batches=in_flight,
             refresh_time_s=elapsed,
+            vertices_patched=sum(p.vertices_patched for p in patches),
+            edges_regrouped=sum(p.edges_regrouped for p in patches),
+            table_rebuilds=sum(p.full_rebuild for p in patches),
+            build_time_s=build_time_s,
+            publish_s=publish_s,
+            coalesced_deltas=coalesced,
+            background=background,
         )
+
+    # ------------------------------------------------------------------
+    # Background refresh
+    # ------------------------------------------------------------------
+    def start_refresher(
+        self,
+        on_built: Callable[["LiveRankingService"], None] | None = None,
+        thread: bool = True,
+    ) -> BackgroundRefresher:
+        """Create (and by default start) the background refresh worker.
+
+        ``thread=False`` creates the refresher without a worker — the
+        deterministic mode: submit via :meth:`refresh_async`, then drive
+        builds explicitly with
+        :meth:`~repro.live.BackgroundRefresher.run_pending`.
+        """
+        # Lazy init under the refresh lock: concurrent first callers
+        # (multi-producer ingest) must agree on one refresher, or an
+        # orphaned worker thread would escape stop()'s drain.
+        with self._refresh_lock:
+            if self.refresher is None:
+                self.refresher = BackgroundRefresher(self, on_built=on_built)
+            elif on_built is not None:
+                self.refresher.on_built = on_built
+            refresher = self.refresher
+        if thread:
+            refresher.start()
+        return refresher
+
+    def refresh_async(self, delta: GraphDelta | None = None) -> RefreshTicket:
+        """Queue a delta for an off-query-path epoch build.
+
+        Returns immediately with a :class:`~repro.live.RefreshTicket`
+        that resolves to the covering :class:`RefreshUpdate` once the
+        epoch is published.  Starts the worker thread on first use
+        unless a refresher was already created (e.g. the deterministic
+        ``start_refresher(thread=False)`` mode).  Deltas submitted
+        faster than builds complete are coalesced into one epoch
+        (``refresh_policy.coalesce``).
+        """
+        if self.refresher is None:
+            self.start_refresher()
+        return self.refresher.submit(delta)
 
     def attach(
         self,
         churn: ChurnGenerator | Iterable[GraphDelta],
         ticks: int | None = None,
-    ) -> list[RefreshUpdate]:
+        background: bool = False,
+    ) -> list[RefreshUpdate] | list[RefreshTicket]:
         """Drive churn through the service: one refresh per delta.
 
         ``churn`` is either a :class:`~repro.dynamic.ChurnGenerator`
         (requires ``ticks``) or any iterable of deltas (``ticks``
-        optionally truncates it).
+        optionally truncates it).  With ``background=True`` every delta
+        is submitted through :meth:`refresh_async` instead of built
+        inline: the return value is one ticket per delta (tickets of
+        coalesced deltas resolve to the same update), and the caller
+        decides when to wait.
         """
         if isinstance(churn, ChurnGenerator):
             if ticks is None:
@@ -299,14 +453,24 @@ class LiveRankingService(RankingService):
             # side effects must not produce a delta that is then
             # silently dropped unrefreshed.
             deltas = itertools.islice(deltas, ticks)
+        if background:
+            return [self.refresh_async(delta) for delta in deltas]
         return [self.refresh(delta) for delta in deltas]
+
+    def stop(self) -> None:
+        """Stop the refresher worker (draining it) and the scheduler."""
+        if self.refresher is not None:
+            self.refresher.stop(flush=True)
+        super().stop()
 
     # ------------------------------------------------------------------
     def live_stats(self) -> dict[str, float]:
         """Live-layer counters alongside the base service stats."""
-        return {
+        replicators = self.replicators or []
+        stats = {
             "epoch": float(self.epochs.current.epoch_id),
             "epochs_published": float(self.epochs.epochs_published),
+            "publishes_mid_flight": float(self.epochs.publishes_mid_flight),
             "refreshes": float(len(self.refresh_history)),
             "lifetime_reuse_ratio": (
                 sum(i.lifetime_reuse_ratio() for i in self.ingresses)
@@ -315,6 +479,19 @@ class LiveRankingService(RankingService):
             "full_repartitions": float(
                 sum(i.full_repartitions for i in self.ingresses)
             ),
+            "table_patches": float(
+                sum(len(r.history) for r in replicators)
+            ),
+            "table_rebuilds": float(
+                sum(r.full_rebuilds for r in replicators)
+            ),
+            "vertices_patched": float(
+                sum(p.vertices_patched for r in replicators for p in r.history)
+            ),
             "served_edges": float(self.epochs.current.num_edges),
             "source_edges": float(self.source.num_edges),
         }
+        if self.refresher is not None:
+            for key, value in self.refresher.stats.as_dict().items():
+                stats[f"refresher_{key}"] = value
+        return stats

@@ -8,7 +8,7 @@ from experiment rows lives in :func:`repro.viz.figure_chart`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

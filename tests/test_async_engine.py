@@ -5,7 +5,7 @@ import pytest
 
 from repro.engine import AsyncEngine, AsyncVertexProgram, build_cluster
 from repro.errors import ConfigError, EngineError
-from repro.graph import cycle_graph, twitter_like
+from repro.graph import cycle_graph
 from repro.metrics import normalized_mass_captured
 from repro.pagerank import AsyncPageRank, async_pagerank, exact_pagerank
 

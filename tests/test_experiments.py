@@ -1,6 +1,5 @@
 """Unit tests for workloads, harness, sweeps and reporting."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExperimentError

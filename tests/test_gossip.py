@@ -1,6 +1,5 @@
 """Tests for the gossip demonstration of the ps patch's generality."""
 
-import numpy as np
 import pytest
 
 from repro.core.gossip import run_gossip

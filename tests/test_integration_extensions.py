@@ -8,7 +8,6 @@ pipeline.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     AdaptiveConfig,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.graph import GraphBuilder, complete_graph, cycle_graph, star_graph
+from repro.graph import GraphBuilder, cycle_graph
 from repro.metrics import normalized_mass_captured
 from repro.pagerank import exact_pagerank, forward_push_pagerank
 

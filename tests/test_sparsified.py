@@ -1,6 +1,5 @@
 """Unit tests for the uniform-sparsification baseline (Figure 5)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import FrogWildConfig, run_frogwild
 from repro.errors import ConfigError
-from repro.graph import cycle_graph, star_graph
+from repro.graph import star_graph
 from repro.metrics import normalized_mass_captured, optimal_mass
 from repro.pagerank import exact_pagerank
 from repro.theory import (

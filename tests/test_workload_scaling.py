@@ -1,6 +1,5 @@
 """Coverage for workload scaling helpers and paper constants."""
 
-import pytest
 
 from repro.experiments import (
     PAPER_FROGS,
