@@ -232,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
              "and fan every batch out across them",
     )
     serve.add_argument(
+        "--backend", choices=("auto", "local", "sharded", "process"),
+        default="auto",
+        help="execution backend: 'process' runs one OS process per shard "
+             "over shared-memory graph state (real multi-core scale-out); "
+             "'auto' picks local/sharded from --shards",
+    )
+    serve.add_argument(
         "--max-delay-ms", type=float, default=None,
         help="also demo the deadline scheduler: trickle queries in one "
              "per millisecond under this batching deadline",
@@ -612,16 +619,18 @@ def _cmd_serve_bench(args) -> int:
         cache_capacity=max(256, 2 * args.queries),
         seed=args.seed,
         num_shards=args.shards,
+        backend=None if args.backend == "auto" else args.backend,
     )
     layout = (
-        f"{args.shards} shards x "
+        f"{service.num_shards} shards x "
         f"{service.backend.machines_per_shard} machines"
-        if args.shards > 1
+        if service.num_shards > 1
         else f"{args.machines} machines"
     )
+    backend_kind = type(service.backend).__name__
     print(
         f"workload: {graph.num_vertices:,} vertices, "
-        f"{graph.num_edges:,} edges on {layout}"
+        f"{graph.num_edges:,} edges on {layout} ({backend_kind})"
     )
 
     # Sequential baseline: one traversal per query over one shared
@@ -674,6 +683,13 @@ def _cmd_serve_bench(args) -> int:
               f"{int(costs['shared_network_bytes']):,} shared bytes, "
               f"{int(costs['attributed_network_bytes']):,} attributed, "
               f"{costs['cpu_seconds']:.4f} cpu-s")
+    transport = getattr(service.backend, "transport_summary", None)
+    if callable(transport):
+        summary = transport()
+        print(f"transport bytes (measured): "
+              f"{int(summary['sent_measured_bytes']):,} over "
+              f"{int(summary['sent_messages'])} frames, "
+              f"reconciles={'yes' if summary['reconciles'] else 'no'}")
     print(f"cache                     : {service.cache_stats()}")
     misses = sum(not answer.cached for answer in reheated)
     if misses:
@@ -726,6 +742,8 @@ def _cmd_serve_bench(args) -> int:
               f"{sched.flush_dispatches} flush")
         print("amortization ratio        : "
               f"{trickle.stats.amortization_ratio():.3f}")
+    # Tear down worker processes / shared segments (no-op otherwise).
+    service.close()
     return 0
 
 

@@ -18,6 +18,8 @@ from .partition import (
     stable_hash_machines,
 )
 from .replication import ReplicationTable
+from .shared import ArenaSpec, SharedArena
+from .transport import RecordChannel, TransportTally, WireCodec
 
 __all__ = [
     "Machine",
@@ -38,6 +40,11 @@ __all__ = [
     "grid_shape",
     "make_partitioner",
     "ReplicationTable",
+    "ArenaSpec",
+    "SharedArena",
+    "WireCodec",
+    "RecordChannel",
+    "TransportTally",
     "CostModel",
     "SuperstepCost",
     "SimulatedClock",

@@ -59,6 +59,9 @@ class TrafficSnapshot:
     total_messages: int
     bytes_by_kind: dict[str, int]
     messages_by_kind: dict[str, int]
+    # Same-machine deliveries: free, off the wire tallies above.
+    local_messages: int = 0
+    local_records: int = 0
 
     def bytes_for(self, kind: str) -> int:
         return self.bytes_by_kind.get(kind, 0)
@@ -83,6 +86,11 @@ class NetworkFabric:
         # Per-superstep accumulation, reset by the engine at barriers.
         self._step_sent = np.zeros(num_machines, dtype=np.int64)
         self._step_received = np.zeros(num_machines, dtype=np.int64)
+        # Local (same-machine) deliveries: free and excluded from every
+        # wire tally, but observable — operators sizing a partition
+        # want to see how much traffic the vertex-cut kept local.
+        self.local_messages = 0
+        self.local_records = 0
 
     # ------------------------------------------------------------------
     # Sending
@@ -93,13 +101,22 @@ class NetworkFabric:
         """Record one message of ``num_records`` records; returns bytes.
 
         Same-machine traffic is free (no serialization in PowerGraph for
-        local mirrors) but still counted as zero-byte for message tallies.
+        local mirrors) and is **excluded from the wire tallies** —
+        ``bytes_by_kind``/``messages_by_kind`` count only messages that
+        crossed a machine boundary, which is what every downstream
+        ledger reconciliation prices.  Local deliveries are tracked
+        separately in :attr:`local_messages`/:attr:`local_records`
+        (:meth:`send_matrix` diagonal entries count there too).
         """
         self._check_machine(src)
         self._check_machine(dst)
         if num_records < 0:
             raise ValueError("num_records must be non-negative")
-        if src == dst or num_records == 0:
+        if num_records == 0:
+            return 0
+        if src == dst:
+            self.local_messages += 1
+            self.local_records += num_records
             return 0
         nbytes = self.size_model.batch_bytes(num_records)
         self._bytes_matrix[src, dst] += nbytes
@@ -113,7 +130,10 @@ class NetworkFabric:
         """Record one batched message per nonzero (src, dst) pair at once.
 
         ``records[s, d]`` is the record count machine ``s`` sends to
-        ``d``; the diagonal is ignored (local delivery is free).  This
+        ``d``; diagonal entries are local deliveries — free, excluded
+        from the wire tallies, and counted into
+        :attr:`local_messages`/:attr:`local_records` exactly as
+        :meth:`send` counts a ``src == dst`` call.  This
         is the vectorized equivalent of calling :meth:`send` per pair —
         byte-for-byte the same accounting, without the Python loop the
         batched runner used to pay per superstep flush.  Returns
@@ -129,6 +149,9 @@ class NetworkFabric:
         if (records < 0).any():
             raise ValueError("num_records must be non-negative")
         off_diagonal = records.astype(np.int64, copy=True)
+        diagonal = np.diagonal(off_diagonal)
+        self.local_messages += int(np.count_nonzero(diagonal))
+        self.local_records += int(diagonal.sum())
         np.fill_diagonal(off_diagonal, 0)
         messages = int(np.count_nonzero(off_diagonal))
         if messages == 0:
@@ -178,6 +201,8 @@ class NetworkFabric:
             total_messages=sum(self._messages_by_kind.values()),
             bytes_by_kind=dict(self._bytes_by_kind),
             messages_by_kind=dict(self._messages_by_kind),
+            local_messages=self.local_messages,
+            local_records=self.local_records,
         )
 
     # ------------------------------------------------------------------
@@ -197,6 +222,8 @@ class NetworkFabric:
         self._bytes_matrix[:] = 0
         self._bytes_by_kind.clear()
         self._messages_by_kind.clear()
+        self.local_messages = 0
+        self.local_records = 0
         self.end_superstep()
 
     def _check_machine(self, machine: int) -> None:

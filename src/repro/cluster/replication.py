@@ -171,6 +171,24 @@ class _GroupedEdges:
             self.group_stop[lo:hi],
         )
 
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Flat component arrays, keyed by slot (shared-memory export)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "_GroupedEdges":
+        """Reassemble a grouping directly from :meth:`as_arrays` output.
+
+        No sorting, grouping or validation happens — the arrays are
+        adopted as-is (they may be read-only shared-memory views), so
+        the caller owns the obligation that they came from an actual
+        grouping over the same graph.
+        """
+        grouped = cls.__new__(cls)
+        for slot in cls.__slots__:
+            setattr(grouped, slot, arrays[slot])
+        return grouped
+
     @classmethod
     def spliced(
         cls,
@@ -335,6 +353,60 @@ class ReplicationTable:
             masters, table.num_machines
         )
         return table
+
+    def shared_components(self) -> dict[str, np.ndarray]:
+        """Every component array of this table, flat-keyed for export.
+
+        The multi-process backend places these in a
+        :class:`~repro.cluster.SharedArena`; a worker rebuilds an
+        equivalent table with :meth:`from_shared_components` from the
+        mapped views — no pickling, no re-sorting, no re-grouping.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "masters": self.masters,
+            "replicas": self._replicas,
+            "edge_machine": self.partition.edge_machine,
+        }
+        for prefix, groups in (
+            ("out", self.out_groups),
+            ("in", self.in_groups),
+        ):
+            for slot, array in groups.as_arrays().items():
+                arrays[f"{prefix}.{slot}"] = array
+        return arrays
+
+    @classmethod
+    def from_shared_components(
+        cls, graph: DiGraph, arrays: dict[str, np.ndarray]
+    ) -> "ReplicationTable":
+        """Rebuild a table from :meth:`shared_components` output.
+
+        The zero-copy attach path of the multi-process backend: group
+        arrays are adopted verbatim (possibly read-only shared-memory
+        views) and only the cheap per-vertex derivations of
+        :meth:`from_components` run.  The result is structurally equal
+        to the exported table by construction.
+        """
+        partition = EdgePartition(
+            arrays["edge_machine"], int(arrays["replicas"].shape[1])
+        )
+        out_groups = _GroupedEdges.from_arrays(
+            {
+                slot: arrays[f"out.{slot}"]
+                for slot in _GroupedEdges.__slots__
+            }
+        )
+        in_groups = _GroupedEdges.from_arrays(
+            {slot: arrays[f"in.{slot}"] for slot in _GroupedEdges.__slots__}
+        )
+        return cls.from_components(
+            graph,
+            partition,
+            arrays["masters"],
+            arrays["replicas"],
+            out_groups,
+            in_groups,
+        )
 
     def patched(
         self,

@@ -103,6 +103,26 @@ class DiGraph:
         """Out-adjacency CSR successor array (read-only view)."""
         return self._indices
 
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """The out-adjacency CSR arrays, keyed for shared-memory export.
+
+        Together with :meth:`from_csr_arrays` this is the zero-copy
+        transport of a graph across process boundaries: the owner
+        places these arrays in a :class:`~repro.cluster.SharedArena`
+        and workers rebuild an equivalent graph from the mapped views
+        without pickling an edge.
+        """
+        return {"indptr": self._indptr, "indices": self._indices}
+
+    @classmethod
+    def from_csr_arrays(cls, arrays: dict[str, np.ndarray]) -> "DiGraph":
+        """Rebuild a graph from :meth:`csr_arrays` output (no copy).
+
+        Validation is skipped: the arrays come from an already-validated
+        graph, and the views may be read-only shared-memory mappings.
+        """
+        return cls(arrays["indptr"], arrays["indices"], validate=False)
+
     def __len__(self) -> int:
         return self._n
 

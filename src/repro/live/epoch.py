@@ -161,6 +161,19 @@ class EpochManager:
             )
         return outcome
 
+    def close(self) -> None:
+        """Release the current epoch's backend, if it is releasable.
+
+        The process-pool execution path reuses one
+        :class:`~repro.serving.ProcessPoolBackend` across epochs
+        (refreshes remap its workers in place), so closing the current
+        epoch's backend closes every worker this manager ever served
+        with.  Backends without a ``close`` are unaffected.
+        """
+        closer = getattr(self.current.backend, "close", None)
+        if callable(closer):
+            closer()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         epoch = self.current
         return (

@@ -125,6 +125,15 @@ class LiveRankingService(RankingService):
     refresh_policy:
         :class:`~repro.core.RefreshPolicy` governing table-patch
         fallback, background coalescing and queue backpressure.
+    execution:
+        ``"simulated"`` (default) builds a fresh in-process
+        Local/Sharded backend per epoch; ``"process"`` builds one
+        :class:`~repro.serving.ProcessPoolBackend` at construction and
+        *remaps* it on every refresh — each publish exports the patched
+        tables into fresh epoch-tagged shared-memory arenas, every
+        worker process attaches them, and only then is the previous
+        epoch's memory retired.  Use :meth:`close` to tear the workers
+        down.
     """
 
     def __init__(
@@ -143,10 +152,18 @@ class LiveRankingService(RankingService):
         max_delay_s: float | None = None,
         rebalance_threshold: float | None = 2.0,
         refresh_policy: RefreshPolicy | None = None,
+        execution: str = "simulated",
     ) -> None:
+        if execution not in ("simulated", "process"):
+            raise ConfigError(
+                f"unknown execution mode {execution!r}: expected "
+                "'simulated' or 'process'"
+            )
         if not isinstance(graph, DynamicDiGraph):
             graph = DynamicDiGraph.from_digraph(graph)
         self.source = graph
+        self.execution = execution
+        self._process_backend = None
         self.rebalance_threshold = rebalance_threshold
         self.refresh_policy = refresh_policy or RefreshPolicy()
         self.refresh_history: list[RefreshUpdate] = []
@@ -250,6 +267,26 @@ class LiveRankingService(RankingService):
                 for replicator in self.replicators
             ]
         tables = [replicator.table for replicator in self.replicators]
+        if self.execution == "process":
+            from ..serving import ProcessPoolBackend
+
+            if self._process_backend is None:
+                self._process_backend = ProcessPoolBackend(
+                    snapshot,
+                    num_shards=self._live_shards,
+                    machines_per_shard=self._machines_per_ingress,
+                    cost_model=self._cost_model,
+                    size_model=self._size_model,
+                    seed=self._seed,
+                    replications=tables,
+                )
+            else:
+                # Epoch-tagged remap: workers attach the new arenas
+                # before the old epoch's segments are retired; the
+                # backend's internal epoch counter advances on its own
+                # (graph versions may repeat on a no-op refresh).
+                self._process_backend.refresh(snapshot, tables)
+            return self._process_backend
         if self._live_shards > 1:
             return ShardedBackend(
                 snapshot,

@@ -28,7 +28,10 @@ Module map: :mod:`~repro.serving.cache` (TTL/LRU store),
 config-pure, deadline-aware coalescer), :mod:`~repro.serving.backend`
 (the :class:`ExecutionBackend` seam: :class:`LocalBackend` single
 cluster, :class:`ShardedBackend` shard fan-out with exact cost
-partitioning), :mod:`~repro.serving.scheduler` (fill-or-deadline
+partitioning), :mod:`~repro.serving.process_backend`
+(:class:`ProcessPoolBackend`: the same shard fan-out on one OS process
+per shard over shared-memory graph state, for real multi-core
+scale-out), :mod:`~repro.serving.scheduler` (fill-or-deadline
 :class:`BatchScheduler`, virtual-clock or background-thread driven),
 :mod:`~repro.serving.service` (the :class:`RankingService` façade
 tying cache → coalescer → scheduler → backend together, with per-query
@@ -50,6 +53,7 @@ from .backend import (
 )
 from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import CacheStats, TTLCache
+from .process_backend import ProcessPoolBackend
 from .scheduler import BatchScheduler, SchedulerStats, VirtualClock
 from .service import (
     RankingAnswer,
@@ -70,6 +74,7 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "ShardedBackend",
+    "ProcessPoolBackend",
     "choose_num_shards",
     "BatchScheduler",
     "SchedulerStats",

@@ -83,6 +83,8 @@ class TTLCache:
         self.stats = CacheStats()
 
     def __len__(self) -> int:
+        """Number of *live* entries (expired ones are purged first)."""
+        self._purge_expired()
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
@@ -96,6 +98,21 @@ class TTLCache:
         return self.ttl_s is not None and (
             self._clock() - stored_at > self.ttl_s
         )
+
+    def _purge_expired(self) -> int:
+        """Drop every expired entry, counting each as an expiration."""
+        if self.ttl_s is None or not self._entries:
+            return 0
+        horizon = self._clock() - self.ttl_s
+        dead = [
+            key
+            for key, (stored_at, _) in self._entries.items()
+            if stored_at < horizon
+        ]
+        for key in dead:
+            del self._entries[key]
+        self.stats.expirations += len(dead)
+        return len(dead)
 
     def get(self, key: Hashable):
         """Return the cached value or ``None``; touches LRU recency."""
@@ -114,8 +131,16 @@ class TTLCache:
         return value
 
     def put(self, key: Hashable, value) -> None:
-        """Insert/refresh ``key``, evicting LRU entries over capacity."""
+        """Insert/refresh ``key``, evicting LRU entries over capacity.
+
+        Expired entries are purged (and counted as expirations, the
+        overwritten key's included) *before* capacity is enforced, so a
+        full-looking cache of dead entries never evicts a live LRU
+        entry; evictions only ever remove live entries.
+        """
+        self._purge_expired()
         if key in self._entries:
+            # Live overwrite: a refresh, neither eviction nor expiry.
             del self._entries[key]
         self._entries[key] = (self._clock(), value)
         while len(self._entries) > self.capacity:

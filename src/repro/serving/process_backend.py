@@ -1,0 +1,655 @@
+"""True multi-process execution: one OS process per shard sub-cluster.
+
+:class:`ProcessPoolBackend` gives the :class:`ShardedBackend` fan-out a
+real execution substrate: every shard runs in its own OS process (its
+own interpreter, its own GIL), so "16 machines" can finally use 16
+cores.  The layout, seeding and merge semantics are *inherited* from
+:class:`ShardedBackend` — the parent builds the identical per-shard
+ingress, splits frog budgets with the identical :meth:`_shares`, and
+derives the identical per-shard seeds — so the merged counters are
+bit-for-bit what the in-process sharded backend produces; only *where*
+the traversals execute changes.
+
+Three mechanisms make that cheap and honest:
+
+* **Shared-memory graph state** — the graph CSR arrays and every
+  shard's :class:`~repro.cluster.ReplicationTable` components live in
+  :class:`~repro.cluster.SharedArena` segments.  Workers attach the
+  picklable :class:`~repro.cluster.ArenaSpec` manifests and map the
+  arrays zero-copy (``DiGraph.from_csr_arrays``,
+  ``ReplicationTable.from_shared_components``); nothing
+  edge-proportional is ever pickled.
+* **A real transport** — per-lane ``(vertex, count)`` results return on
+  a :class:`~repro.cluster.RecordChannel` whose frame layout is priced
+  by the same :class:`~repro.cluster.MessageSizeModel` the simulator
+  uses, and whose measured byte tallies must reconcile with that model
+  (:meth:`transport_summary`).  Small control metadata (configs,
+  reports, ledgers) travels on a separate pickled control pipe.
+* **Epoch-tagged remapping** — a live refresh
+  (:class:`~repro.live.BackgroundRefresher` publishes) calls
+  :meth:`refresh` with the new snapshot's tables: fresh arenas are
+  created under the next epoch tag, every worker attaches them *before*
+  the old epoch is retired, and batches — serialized with refreshes on
+  one lock — run wholly against a single epoch's arrays (no mid-batch
+  tearing).
+
+Worker protocol (control pipe, pickled tuples):
+
+==============  =====================================================
+parent sends    ``("attach", epoch, graph_spec, table_spec)``,
+                ``("detach", epoch)``, ``("run", task, epoch, config,
+                share, shard_seed, queries)``, ``("stop",)``
+worker replies  ``("attached", epoch)``, ``("detached", epoch)``,
+                ``("result", task, payload)``, ``("error", task,
+                repr, traceback)``, ``("stopped",)``
+==============  =====================================================
+
+Per-lane counter records flow on the data channel tagged with the task
+id; the parent drains data and control concurrently (a worker blocked
+on a full data pipe must never deadlock against a parent blocked on
+the control pipe).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import traceback
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster import (
+    CostModel,
+    MessageSizeModel,
+    RecordChannel,
+    ReplicationTable,
+    SharedArena,
+    TransportTally,
+)
+from ..core import (
+    BatchQuery,
+    FrogWildConfig,
+    PageRankEstimate,
+    merge_shard_results,
+    run_frogwild_batch,
+    seed_distribution,
+)
+from ..core.frogwild import FrogWildResult, prime_ingress_caches
+from ..engine import build_cluster
+from ..errors import ConfigError, EngineError
+from ..graph import DiGraph
+from .backend import BatchOutcome, QueryOutcome, ShardCost, ShardedBackend
+from .batching import RankingQuery
+
+__all__ = ["ProcessPoolBackend"]
+
+
+def _worker_main(
+    control,
+    data,
+    shard: int,
+    machines_per_shard: int,
+    cost_model,
+    size_model,
+    seed,
+    kernel: str,
+) -> None:
+    """One shard worker: attach epochs, run batch slices, ship records."""
+    channel = RecordChannel(data, size_model)
+    epochs: dict[int, tuple[DiGraph, ReplicationTable, tuple]] = {}
+    while True:
+        try:
+            message = control.recv()
+        except (EOFError, OSError):
+            return
+        op = message[0]
+        try:
+            if op == "attach":
+                _, epoch, graph_spec, table_spec = message
+                graph_arena = SharedArena.attach(graph_spec)
+                table_arena = SharedArena.attach(table_spec)
+                graph = DiGraph.from_csr_arrays(graph_arena.arrays)
+                table = ReplicationTable.from_shared_components(
+                    graph, table_arena.arrays
+                )
+                # Warm the kernel tables once per epoch, off the batch
+                # path — exactly what the live refresher does for the
+                # in-process backends.
+                prime_ingress_caches(table, graph)
+                epochs[epoch] = (graph, table, (graph_arena, table_arena))
+                control.send(("attached", epoch))
+            elif op == "detach":
+                _, epoch = message
+                entry = epochs.pop(epoch, None)
+                if entry is not None:
+                    for arena in entry[2]:
+                        arena.close()
+                control.send(("detached", epoch))
+            elif op == "run":
+                _, task, epoch, config, share, shard_seed, queries = message
+                graph, table, _ = epochs[epoch]
+                distributions = [
+                    seed_distribution(
+                        graph.num_vertices,
+                        np.asarray(seeds, dtype=np.int64),
+                        None
+                        if weights is None
+                        else np.asarray(weights, dtype=np.float64),
+                    )
+                    for seeds, weights in queries
+                ]
+                state = build_cluster(
+                    graph,
+                    machines_per_shard,
+                    cost_model=cost_model,
+                    size_model=size_model,
+                    seed=seed,
+                    replication=table,
+                )
+                result = run_frogwild_batch(
+                    graph,
+                    [
+                        BatchQuery(
+                            num_frogs=share,
+                            start_distribution=distribution,
+                            seed=shard_seed,
+                        )
+                        for distribution in distributions
+                    ],
+                    config,
+                    state=state,
+                    kernel=kernel,
+                )
+                lanes = []
+                for lane in result.results:
+                    counts = lane.estimate.counts
+                    stops = np.flatnonzero(counts)
+                    channel.send_records(
+                        "result", stops, counts[stops], tag=task
+                    )
+                    lanes.append(
+                        (lane.estimate.num_frogs, lane.report, lane.ledger)
+                    )
+                control.send(
+                    (
+                        "result",
+                        task,
+                        {
+                            "lanes": lanes,
+                            "shared_network_bytes": (
+                                result.report.network_bytes
+                            ),
+                            "attributed_network_bytes": (
+                                result.attributed_network_bytes()
+                            ),
+                            "cpu_seconds": sum(
+                                lane.report.cpu_seconds
+                                for lane in result.results
+                            ),
+                            "simulated_time_s": result.report.total_time_s,
+                            "sent": channel.sent,
+                        },
+                    )
+                )
+                # The payload carried this batch's tally (pickled at
+                # send time); start the next batch's delta fresh so the
+                # parent's merge never double-counts.
+                channel.sent = TransportTally()
+            elif op == "stop":
+                for _, _, arenas in epochs.values():
+                    for arena in arenas:
+                        arena.close()
+                control.send(("stopped",))
+                return
+            else:
+                control.send(("error", None, f"unknown op {op!r}", ""))
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        except BaseException as error:  # surfaced to the parent
+            task = message[1] if len(message) > 1 else None
+            try:
+                control.send(
+                    ("error", task, repr(error), traceback.format_exc())
+                )
+            except (OSError, ValueError):
+                return
+
+
+class _Worker:
+    """Parent-side handle of one shard process."""
+
+    __slots__ = ("shard", "process", "control", "channel")
+
+    def __init__(self, shard, process, control, channel) -> None:
+        self.shard = shard
+        self.process = process
+        self.control = control
+        self.channel = channel
+
+
+class ProcessPoolBackend(ShardedBackend):
+    """Shard fan-out on OS processes over shared-memory graph state.
+
+    Construction mirrors :class:`ShardedBackend` (same layout, same
+    per-shard seeds, same tables — built once in the parent), then
+    exports the graph and each shard's table into shared memory and
+    spawns one worker process per shard.  ``run_batch`` fans each
+    query's frog budget out exactly as the in-process backend does and
+    merges the returned lanes through the same
+    :func:`~repro.core.batched.merge_shard_results` /
+    ``CostLedger.merge`` machinery, so results and cost attribution are
+    identical — only wall-clock parallelism differs.
+
+    Extra parameters on top of :class:`ShardedBackend`:
+
+    ``start_method``
+        ``multiprocessing`` start method; default prefers ``fork``
+        (instant start, Linux) and falls back to the platform default.
+        The worker entry point is spawn-safe either way.
+    ``timeout_s``
+        Per-operation ceiling on worker replies; a silent worker
+        raises :class:`~repro.errors.EngineError` instead of hanging
+        the service.
+
+    Use :meth:`close` (or a ``with`` block) to tear down workers and
+    unlink the shared segments; segments leaked by a crash are
+    reclaimed by the ``resource_tracker`` at interpreter exit.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_shards: int | None = 4,
+        machines_per_shard: int | None = None,
+        num_machines: int | None = None,
+        partitioner: str = "random",
+        cost_model: CostModel | None = None,
+        size_model: MessageSizeModel | None = None,
+        seed: int | None = 0,
+        num_frogs: int | None = None,
+        replications: Sequence[ReplicationTable] | None = None,
+        kernel: str = "fused",
+        start_method: str | None = None,
+        timeout_s: float = 120.0,
+    ) -> None:
+        super().__init__(
+            graph,
+            num_shards=num_shards,
+            machines_per_shard=machines_per_shard,
+            num_machines=num_machines,
+            partitioner=partitioner,
+            cost_model=cost_model,
+            size_model=size_model,
+            seed=seed,
+            num_frogs=num_frogs,
+            replications=replications,
+            kernel=kernel,
+        )
+        self.timeout_s = timeout_s
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in mp.get_all_start_methods()
+                else mp.get_start_method()
+            )
+        self._context = mp.get_context(start_method)
+        # One lock serializes batches and refreshes: a batch runs
+        # wholly against one epoch's arenas, and a refresh never remaps
+        # under a batch in flight.
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._task_counter = 0
+        self._arenas: dict[int, list[SharedArena]] = {}
+        self._workers: list[_Worker] = []
+        #: Parent-side receive tallies plus worker-side send tallies of
+        #: everything this backend moved over its record channels.
+        self.transport_received = TransportTally()
+        self.transport_sent = TransportTally()
+        self._closed = False
+        try:
+            self._publish_epoch(self._epoch, self.graph, self.replications)
+            self._spawn_workers()
+            self._attach_all(self._epoch)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker/arena lifecycle
+    # ------------------------------------------------------------------
+    def _publish_epoch(
+        self,
+        epoch: int,
+        graph: DiGraph,
+        replications: Sequence[ReplicationTable],
+    ) -> None:
+        """Materialize one epoch's shared arenas (graph + per-shard)."""
+        arenas = [SharedArena.create(graph.csr_arrays(), epoch=epoch)]
+        for table in replications:
+            arenas.append(
+                SharedArena.create(table.shared_components(), epoch=epoch)
+            )
+        self._arenas[epoch] = arenas
+
+    def _spawn_workers(self) -> None:
+        for shard in range(self.num_shards):
+            control_parent, control_child = self._context.Pipe(duplex=True)
+            data_parent, data_child = self._context.Pipe(duplex=False)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(
+                    control_child,
+                    data_child,
+                    shard,
+                    self.machines_per_shard,
+                    self.cost_model,
+                    self.size_model,
+                    self.seed,
+                    self.kernel,
+                ),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            process.start()
+            control_child.close()
+            data_child.close()
+            self._workers.append(
+                _Worker(
+                    shard,
+                    process,
+                    control_parent,
+                    RecordChannel(data_parent, self.size_model),
+                )
+            )
+
+    def _control_reply(self, worker: _Worker, expected: str):
+        """Await one control message of ``expected`` kind from a worker."""
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if worker.control.poll(0.05):
+                message = worker.control.recv()
+                if message[0] == "error":
+                    _, _, error, trace = message
+                    raise EngineError(
+                        f"shard {worker.shard} worker failed: {error}\n"
+                        f"{trace}"
+                    )
+                if message[0] == expected:
+                    return message
+                continue
+            if not worker.process.is_alive():
+                raise EngineError(
+                    f"shard {worker.shard} worker died awaiting {expected}"
+                )
+            if time.monotonic() > deadline:
+                raise EngineError(
+                    f"shard {worker.shard} worker timed out awaiting "
+                    f"{expected}"
+                )
+
+    def _attach_all(self, epoch: int) -> None:
+        graph_spec = self._arenas[epoch][0].spec
+        for worker in self._workers:
+            worker.control.send(
+                (
+                    "attach",
+                    epoch,
+                    graph_spec,
+                    self._arenas[epoch][1 + worker.shard].spec,
+                )
+            )
+        for worker in self._workers:
+            self._control_reply(worker, "attached")
+
+    def refresh(
+        self,
+        graph: DiGraph,
+        replications: Sequence[ReplicationTable],
+        epoch: int | None = None,
+    ) -> "ProcessPoolBackend":
+        """Remap every worker onto a refreshed snapshot's tables.
+
+        The epoch-tagged handshake of a live publish: new arenas are
+        created under the next epoch tag, all workers attach them, and
+        only then is the previous epoch detached and unlinked.  Batches
+        serialize with this on the backend lock, so every batch runs
+        against exactly one epoch's arrays.
+        """
+        if len(replications) != self.num_shards:
+            raise ConfigError(
+                f"{len(replications)} replication tables supplied for "
+                f"{self.num_shards} shards"
+            )
+        for shard, table in enumerate(replications):
+            if table.num_machines != self.machines_per_shard:
+                raise ConfigError(
+                    f"shard {shard} replication targets "
+                    f"{table.num_machines} machines, expected "
+                    f"{self.machines_per_shard}"
+                )
+            if table.graph.num_vertices != graph.num_vertices:
+                raise ConfigError(
+                    f"shard {shard} replication was built for a "
+                    "different graph"
+                )
+        with self._lock:
+            old_epoch = self._epoch
+            new_epoch = epoch if epoch is not None else old_epoch + 1
+            if new_epoch <= old_epoch:
+                raise ConfigError(
+                    f"refresh epoch must advance: {new_epoch} <= "
+                    f"{old_epoch}"
+                )
+            self._publish_epoch(new_epoch, graph, replications)
+            try:
+                self._attach_all(new_epoch)
+            except BaseException:
+                for arena in self._arenas.pop(new_epoch, []):
+                    arena.destroy()
+                raise
+            self._epoch = new_epoch
+            self.graph = graph
+            self.replications = list(replications)
+            for worker in self._workers:
+                worker.control.send(("detach", old_epoch))
+            for worker in self._workers:
+                self._control_reply(worker, "detached")
+            for arena in self._arenas.pop(old_epoch, []):
+                arena.destroy()
+        return self
+
+    def close(self) -> None:
+        """Stop workers, close pipes and unlink every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.control.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.control.close()
+            worker.channel.close()
+        self._workers = []
+        for arenas in self._arenas.values():
+            for arena in arenas:
+                arena.destroy()
+        self._arenas = {}
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _collect(
+        self, worker: _Worker, task: int, num_lanes: int
+    ) -> tuple[dict, list[np.ndarray]]:
+        """Drain one worker's lane frames and control result for ``task``.
+
+        Data and control are polled together: a worker blocked sending
+        a large frame unblocks as soon as the parent drains it, and an
+        error raised mid-task surfaces instead of deadlocking.  Frames
+        tagged with an older (failed) task are discarded.
+        """
+        frames: list[np.ndarray] = []
+        payload: dict | None = None
+        counts_template = np.zeros(self.graph.num_vertices, dtype=np.int64)
+        deadline = time.monotonic() + self.timeout_s
+        while payload is None or len(frames) < num_lanes:
+            progressed = False
+            if worker.channel.poll(0.0 if payload is None else 0.05):
+                kind, tag, stops, stop_counts = (
+                    worker.channel.recv_records()
+                )
+                progressed = True
+                if tag == task and kind == "result":
+                    counts = counts_template.copy()
+                    counts[stops] = stop_counts
+                    frames.append(counts)
+            if payload is None and worker.control.poll(0.05):
+                message = worker.control.recv()
+                progressed = True
+                if message[0] == "error":
+                    _, _, error, trace = message
+                    raise EngineError(
+                        f"shard {worker.shard} batch failed: {error}\n"
+                        f"{trace}"
+                    )
+                if message[0] == "result" and message[1] == task:
+                    payload = message[2]
+            if progressed:
+                deadline = time.monotonic() + self.timeout_s
+            elif not worker.process.is_alive():
+                raise EngineError(
+                    f"shard {worker.shard} worker died mid-batch"
+                )
+            elif time.monotonic() > deadline:
+                raise EngineError(
+                    f"shard {worker.shard} worker timed out mid-batch"
+                )
+        return payload, frames
+
+    def run_batch(
+        self, config: FrogWildConfig, queries: Sequence[RankingQuery]
+    ) -> BatchOutcome:
+        if self._closed:
+            raise EngineError("backend is closed")
+        if not queries:
+            return BatchOutcome(
+                lanes=(), shared_network_bytes=0, simulated_time_s=0.0
+            )
+        query_specs = [
+            (tuple(query.seeds), None if query.weights is None else tuple(query.weights))
+            for query in queries
+        ]
+        with self._lock:
+            self._task_counter += 1
+            task = self._task_counter
+            shares = self._shares(config.num_frogs)
+            participating = []
+            for worker, share in zip(self._workers, shares):
+                if share == 0:
+                    continue
+                worker.control.send(
+                    (
+                        "run",
+                        task,
+                        self._epoch,
+                        config,
+                        share,
+                        self._shard_seed(config.seed, worker.shard),
+                        query_specs,
+                    )
+                )
+                participating.append((worker, share))
+            per_query_lanes: list[list[FrogWildResult]] = [
+                [] for _ in queries
+            ]
+            shard_costs: list[ShardCost] = []
+            for worker, share in participating:
+                payload, frames = self._collect(worker, task, len(queries))
+                for lanes, counts, (num_frogs, report, ledger) in zip(
+                    per_query_lanes, frames, payload["lanes"]
+                ):
+                    lanes.append(
+                        FrogWildResult(
+                            estimate=PageRankEstimate(counts, num_frogs),
+                            report=report,
+                            state=None,
+                            ledger=ledger,
+                        )
+                    )
+                self.transport_sent.merge(payload["sent"])
+                self.transport_received.merge(worker.channel.received)
+                worker.channel.received = TransportTally()
+                shard_costs.append(
+                    ShardCost(
+                        shard=worker.shard,
+                        num_machines=self.machines_per_shard,
+                        shared_network_bytes=payload[
+                            "shared_network_bytes"
+                        ],
+                        attributed_network_bytes=payload[
+                            "attributed_network_bytes"
+                        ],
+                        cpu_seconds=payload["cpu_seconds"],
+                        simulated_time_s=payload["simulated_time_s"],
+                    )
+                )
+        merged = [merge_shard_results(lanes) for lanes in per_query_lanes]
+        return BatchOutcome(
+            lanes=tuple(
+                QueryOutcome(lane.estimate, lane.report) for lane in merged
+            ),
+            shared_network_bytes=sum(
+                cost.shared_network_bytes for cost in shard_costs
+            ),
+            simulated_time_s=max(
+                (cost.simulated_time_s for cost in shard_costs),
+                default=0.0,
+            ),
+            shards=tuple(shard_costs),
+        )
+
+    # ------------------------------------------------------------------
+    # Transport accounting
+    # ------------------------------------------------------------------
+    def transport_summary(self) -> dict[str, float]:
+        """Measured-vs-model byte accounting of the record transport.
+
+        ``reconciles`` is 1.0 when both directions' measured bytes
+        equal the :class:`MessageSizeModel` pricing of the same record
+        traffic (plus the real header of any empty frame) *and* the
+        parent received byte-for-byte what workers sent.
+        """
+        size_model = self.size_model or MessageSizeModel()
+        sent, received = self.transport_sent, self.transport_received
+        reconciles = (
+            sent.reconciles(size_model)
+            and received.reconciles(size_model)
+            and sent.measured_bytes == received.measured_bytes
+            and sent.records == received.records
+        )
+        summary = {f"sent_{k}": v for k, v in sent.as_dict().items()}
+        summary.update(
+            {f"received_{k}": v for k, v in received.as_dict().items()}
+        )
+        summary["reconciles"] = float(reconciles)
+        return summary

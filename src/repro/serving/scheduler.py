@@ -286,17 +286,28 @@ class BatchScheduler:
         return self
 
     def stop(self, flush: bool = True) -> None:
-        """Stop the loop; by default flush whatever is still queued."""
+        """Stop the loop; by default flush whatever is still queued.
+
+        Shutdown is serialized: the loop thread is signalled, *joined*,
+        and only then unregistered — so :attr:`running` never reports
+        ``False`` while the loop may still be dispatching, and the
+        final flush cannot interleave with an in-flight ``poll()``
+        dispatch (the loop has provably exited before it runs).
+        """
         with self._cond:
             thread = self._thread
             stop_event = self._stop_event
-            self._thread = None
-            self._stop_event = None
             if stop_event is not None:
                 stop_event.set()
             self._cond.notify_all()
         if thread is not None:
             thread.join()
+            with self._cond:
+                # Guarded identity check: a concurrent start() may have
+                # installed a fresh thread already; only clear our own.
+                if self._thread is thread:
+                    self._thread = None
+                    self._stop_event = None
         if flush:
             self.flush()
 
@@ -329,4 +340,5 @@ class BatchScheduler:
             try:
                 self.poll()
             except BaseException as error:
-                self.last_error = error
+                with self._cond:
+                    self.last_error = error

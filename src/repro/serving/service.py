@@ -221,8 +221,12 @@ class RankingService:
         (tests and benchmarks use a
         :class:`~repro.serving.VirtualClock`).
     backend:
-        Explicit :class:`~repro.serving.backend.ExecutionBackend`;
-        overrides ``num_shards``.
+        Explicit :class:`~repro.serving.backend.ExecutionBackend`
+        (overrides ``num_shards``), or a layout name: ``"local"``,
+        ``"sharded"``, or ``"process"`` (a
+        :class:`~repro.serving.ProcessPoolBackend` — one OS process
+        per shard over shared-memory graph state; pair with
+        :meth:`close` to tear the workers down).
     num_shards:
         ``> 1`` builds a :class:`~repro.serving.ShardedBackend` that
         splits the ``num_machines`` fleet into that many sub-clusters
@@ -264,7 +268,7 @@ class RankingService:
         size_model: MessageSizeModel | None = None,
         seed: int | None = 0,
         clock: Callable[[], float] | None = None,
-        backend: ExecutionBackend | None = None,
+        backend: ExecutionBackend | str | None = None,
         num_shards: int | None = 1,
         max_delay_s: float | None = None,
         generation: Callable[[], int] | None = None,
@@ -285,12 +289,27 @@ class RankingService:
         self.default_config = config or FrogWildConfig(seed=seed)
         self.num_machines = num_machines
         self.seed = seed
-        if backend is None:
+        if backend is None or isinstance(backend, str):
+            kind = backend
             if num_shards is None:
                 num_shards = choose_num_shards(
                     num_machines, num_frogs=self.default_config.num_frogs
                 )
-            if num_shards > 1:
+            if kind is None:
+                kind = "sharded" if num_shards > 1 else "local"
+            if kind == "process":
+                from .process_backend import ProcessPoolBackend
+
+                backend = ProcessPoolBackend(
+                    graph,
+                    num_shards=num_shards,
+                    num_machines=num_machines,
+                    partitioner=partitioner,
+                    cost_model=cost_model,
+                    size_model=size_model,
+                    seed=seed,
+                )
+            elif kind == "sharded":
                 backend = ShardedBackend(
                     graph,
                     num_shards=num_shards,
@@ -300,7 +319,7 @@ class RankingService:
                     size_model=size_model,
                     seed=seed,
                 )
-            else:
+            elif kind == "local":
                 backend = LocalBackend(
                     graph,
                     num_machines=num_machines,
@@ -308,6 +327,11 @@ class RankingService:
                     cost_model=cost_model,
                     size_model=size_model,
                     seed=seed,
+                )
+            else:
+                raise ConfigError(
+                    f"unknown backend {kind!r}: expected 'local', "
+                    "'sharded' or 'process'"
                 )
         if generation is None:
             # A backend that knows its graph generation (the epoch-swap
@@ -346,8 +370,26 @@ class RankingService:
         return self
 
     def stop(self) -> None:
-        """Stop the scheduler thread, flushing pending queries."""
+        """Stop the scheduler thread, flushing pending queries.
+
+        The backend stays usable (callers may keep issuing synchronous
+        queries or restart the scheduler); :meth:`close` is the full
+        teardown.
+        """
         self.scheduler.stop(flush=True)
+
+    def close(self) -> None:
+        """Stop the scheduler and release the backend's resources.
+
+        For a :class:`~repro.serving.ProcessPoolBackend` (or an epoch
+        proxy wrapping one) this terminates the worker processes and
+        unlinks their shared-memory segments; backends without a
+        ``close`` are unaffected.
+        """
+        self.stop()
+        closer = getattr(self.backend, "close", None)
+        if callable(closer):
+            closer()
 
     def __enter__(self) -> "RankingService":
         return self.start()

@@ -141,3 +141,59 @@ class TestNetworkFabric:
         fabric = NetworkFabric(2)
         with pytest.raises(ValueError):
             fabric.send(0, 1, -1, kind="x")
+
+
+class TestLocalTrafficCounters:
+    """Regression: src == dst sends must be tallied, just off the wire.
+
+    ``send`` used to early-return before touching any counter, silently
+    contradicting its docstring; ``send_matrix`` likewise zeroed the
+    diagonal without recording it.  Local deliveries stay zero-byte and
+    excluded from the per-kind wire tallies, but they are now visible
+    via ``local_messages``/``local_records`` in both paths.
+    """
+
+    def test_local_send_tracked_off_wire(self):
+        fabric = NetworkFabric(3)
+        assert fabric.send(1, 1, 100, kind="sync") == 0
+        assert fabric.send(2, 2, 7, kind="gather") == 0
+        # Wire tallies untouched...
+        assert fabric.total_bytes() == 0
+        snap = fabric.snapshot()
+        assert snap.total_messages == 0
+        assert snap.messages_by_kind == {}
+        # ...but local counters record both deliveries.
+        assert fabric.local_messages == 2
+        assert fabric.local_records == 107
+        assert snap.local_messages == 2
+        assert snap.local_records == 107
+
+    def test_empty_local_send_not_counted(self):
+        fabric = NetworkFabric(2)
+        assert fabric.send(0, 0, 0, kind="sync") == 0
+        assert fabric.local_messages == 0
+        assert fabric.local_records == 0
+
+    def test_send_matrix_diagonal_matches_send(self):
+        """Vectorized and scalar paths agree on every counter."""
+        records = np.array([[5, 2, 0], [0, 3, 4], [1, 0, 6]])
+        matrix_fabric = NetworkFabric(3)
+        total, messages = matrix_fabric.send_matrix(records, kind="sync")
+        loop_fabric = NetworkFabric(3)
+        loop_total = sum(
+            loop_fabric.send(s, d, int(records[s, d]), kind="sync")
+            for s in range(3)
+            for d in range(3)
+        )
+        assert total == loop_total
+        assert matrix_fabric.local_messages == loop_fabric.local_messages == 3
+        assert matrix_fabric.local_records == loop_fabric.local_records == 14
+        assert matrix_fabric.total_bytes() == loop_fabric.total_bytes()
+        assert messages == 3
+
+    def test_reset_clears_local_counters(self):
+        fabric = NetworkFabric(2)
+        fabric.send(0, 0, 5, kind="sync")
+        fabric.reset()
+        assert fabric.local_messages == 0
+        assert fabric.local_records == 0

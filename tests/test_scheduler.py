@@ -265,6 +265,55 @@ class TestBatchScheduler:
         finally:
             scheduler.stop(flush=False)
 
+    def test_stop_joins_the_loop_before_reporting_stopped(self):
+        """Regression: stop() used to clear the thread handle *before*
+        joining, so ``running`` flipped False while the loop could still
+        be dispatching, and the final flush could interleave with an
+        in-flight poll dispatch.  Now the join strictly precedes both."""
+        import threading
+
+        in_dispatch = threading.Event()
+        release = threading.Event()
+        order = []
+
+        def dispatch(config, entries):
+            order.append(entries[0].query.seeds[0])
+            if entries[0].query.seeds == (1,):
+                in_dispatch.set()
+                release.wait(timeout=30.0)
+
+        scheduler = BatchScheduler(
+            dispatch, QueryCoalescer(4), max_delay_s=0.001
+        )
+        scheduler.start()
+        scheduler.submit(RankingQuery(seeds=(1,)), DEFAULT)
+        assert in_dispatch.wait(timeout=30.0)
+        # The loop thread is parked inside dispatch; this entry can only
+        # leave via stop()'s final flush.
+        scheduler.submit(RankingQuery(seeds=(2,)), DEFAULT)
+        stopper = threading.Thread(target=scheduler.stop)
+        stopper.start()
+        time_sleep(0.05)
+        # stop() must block on the in-flight dispatch, still reporting
+        # the loop as running and the dispatch as active.
+        assert stopper.is_alive()
+        assert scheduler.running
+        assert scheduler.active_dispatches == 1
+        release.set()
+        stopper.join(timeout=30.0)
+        assert not stopper.is_alive()
+        assert not scheduler.running
+        assert scheduler.active_dispatches == 0
+        # The flush ran strictly after the poll dispatch completed.
+        assert order == [1, 2]
+
+    def test_stop_without_start_still_flushes(self):
+        scheduler, _, dispatched = self.make()
+        scheduler.submit(RankingQuery(seeds=(1,)), DEFAULT)
+        scheduler.stop()
+        assert len(dispatched) == 1
+        assert not scheduler.running
+
     def test_background_loop_rejects_virtual_clocks(self):
         """start() under a VirtualClock would sleep real seconds against
         frozen virtual deadlines and hang every future — fail fast."""

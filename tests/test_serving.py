@@ -83,6 +83,50 @@ class TestTTLCache:
         with pytest.raises(ConfigError):
             TTLCache(ttl_s=0.0)
 
+    def test_len_counts_only_live_entries(self):
+        """Regression: ``len`` used to report expired entries as live."""
+        clock = FakeClock()
+        cache = TTLCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        clock.advance(6.0)  # "a" dead at t=12, "b" live until t=16
+        assert len(cache) == 1
+        assert cache.stats.expirations == 1
+        clock.advance(6.0)
+        assert len(cache) == 0
+        assert cache.stats.expirations == 2
+
+    def test_put_purges_expired_before_evicting_live_lru(self):
+        """Regression: a full-looking cache of dead entries must not
+        evict a live LRU entry to make room."""
+        clock = FakeClock()
+        cache = TTLCache(capacity=2, ttl_s=10.0, clock=clock)
+        cache.put("dead", 1)
+        clock.advance(11.0)
+        cache.put("live", 2)
+        cache.put("new", 3)  # capacity 2: room exists once "dead" purges
+        assert cache.get("live") == 2
+        assert cache.get("new") == 3
+        assert cache.stats.evictions == 0
+        assert cache.stats.expirations == 1
+
+    def test_overwrite_of_expired_counts_as_expiration(self):
+        """Regression: refreshing a dead key is an expiration + insert,
+        not a silent live overwrite."""
+        clock = FakeClock()
+        cache = TTLCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("key", "old")
+        clock.advance(11.0)
+        cache.put("key", "new")
+        assert cache.stats.expirations == 1
+        assert cache.get("key") == "new"
+        # A *live* overwrite is neither an expiration nor an eviction.
+        cache.put("key", "newer")
+        assert cache.stats.expirations == 1
+        assert cache.stats.evictions == 0
+
 
 class TestCoalescer:
     def test_mixed_configs_never_share_a_batch(self):
