@@ -232,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
              "and fan every batch out across them",
     )
     serve.add_argument(
+        "--kernel", choices=("fused", "lane-loop", "compiled"),
+        default="fused",
+        help="batch-kernel tier: 'compiled' runs the Numba single-pass "
+             "loops (install the [accel] extra; falls back to 'fused' "
+             "with a warning when numba is absent), 'lane-loop' is the "
+             "pre-fusion reference",
+    )
+    serve.add_argument(
         "--backend", choices=("auto", "local", "sharded", "process"),
         default="auto",
         help="execution backend: 'process' runs one OS process per shard "
@@ -602,6 +610,14 @@ def _cmd_serve_bench(args) -> int:
             f"kernel modes              : sync={args.sync_mode}, "
             f"wire-dedupe={'on' if args.wire_dedupe else 'off'}"
         )
+    from .core.kernels import resolve_kernel
+
+    resolved_kernel = resolve_kernel(args.kernel)
+    tier_note = (
+        "" if resolved_kernel == args.kernel
+        else f" (requested {args.kernel}, numba unavailable)"
+    )
+    print(f"kernel tier               : {resolved_kernel}{tier_note}")
     rng = np.random.default_rng(args.seed)
     seed_sets = [
         np.sort(
@@ -620,6 +636,7 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
         num_shards=args.shards,
         backend=None if args.backend == "auto" else args.backend,
+        kernel=resolved_kernel,
     )
     layout = (
         f"{service.num_shards} shards x "

@@ -25,6 +25,12 @@ from .erasures import (
 from .estimator import PageRankEstimate, top_k_indices
 from .frogwild import FrogWildResult, FrogWildRunner, run_frogwild
 from .gossip import GossipResult, run_gossip
+from .kernels import (
+    KERNEL_TIERS,
+    available_kernels,
+    compiled_available,
+    resolve_kernel,
+)
 from .personalized import (
     run_personalized_frogwild,
     run_personalized_frogwild_batch,
@@ -59,4 +65,8 @@ __all__ = [
     "AtLeastOneOutEdge",
     "make_erasure_model",
     "erased_walk_step",
+    "KERNEL_TIERS",
+    "available_kernels",
+    "compiled_available",
+    "resolve_kernel",
 ]

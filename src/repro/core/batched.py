@@ -85,6 +85,7 @@ from .frogwild import (
     _scatter_binomial,
     _scatter_multinomial,
 )
+from .kernels import KERNEL_TIERS, CompiledPasses, CompiledTables, resolve_kernel
 
 __all__ = [
     "BatchQuery",
@@ -94,7 +95,7 @@ __all__ = [
     "run_frogwild_batch",
 ]
 
-_KERNELS = ("fused", "lane-loop")
+_KERNELS = KERNEL_TIERS
 
 
 def _charge_stack(
@@ -220,11 +221,16 @@ class BatchedFrogWildRunner:
     birth law, seed and — in per-lane sync mode — ``ps`` are per-query.
 
     ``kernel`` selects the superstep implementation: ``"fused"``
-    (default) advances all lanes through one concatenated pass,
+    (default) advances all lanes through one concatenated numpy pass,
+    ``"compiled"`` runs the same superstep through the Numba-jitted
+    single-pass loops of :mod:`repro.core.kernels` (falling back to
+    ``"fused"`` with one warning when Numba is absent), and
     ``"lane-loop"`` is the pre-fusion per-lane reference the fused
-    kernel is regression-pinned against.  Both produce bit-identical
-    results in the default sync mode; shared sync and wire dedupe
-    require the fused kernel.
+    kernel is regression-pinned against.  All tiers produce
+    bit-identical results (the compiled tier consumes the exact same
+    per-lane numpy random streams and only replaces deterministic
+    passes); shared sync and wire dedupe require the fused or compiled
+    kernel.
     """
 
     def __init__(
@@ -236,10 +242,7 @@ class BatchedFrogWildRunner:
     ) -> None:
         if not queries:
             raise ConfigError("a batch needs at least one query")
-        if kernel not in _KERNELS:
-            raise ConfigError(
-                f"kernel must be one of {_KERNELS}, got {kernel!r}"
-            )
+        kernel = resolve_kernel(kernel)
         self.state = state
         self.config = config
         self.kernel = kernel
@@ -343,6 +346,21 @@ class BatchedFrogWildRunner:
             "sync": 0, "repair": 0, "frog": 0,
             "sync_demand": 0, "frog_demand": 0,
         }
+        if kernel == "compiled":
+            # The int32-narrowed gather tables are per-ingress (shared
+            # across batches like the int64 kernel tables); the pass
+            # pipeline with its buffer arena is per-runner state.
+            narrowed = state.ingress_cache(
+                "compiled_tables", lambda: CompiledTables(self.tables)
+            )
+            self._passes = CompiledPasses(
+                narrowed,
+                num_lanes=len(self.lanes),
+                num_machines=state.num_machines,
+                num_vertices=n,
+            )
+        else:
+            self._passes = None
 
     # ------------------------------------------------------------------
     def run(self) -> BatchedFrogWildResult:
@@ -363,15 +381,20 @@ class BatchedFrogWildRunner:
                 )
             self.frogs[lane.index] = np.bincount(birth, minlength=n)
 
-        if self.kernel == "fused":
-            # The fused kernel carries the frontier as concatenated
+        if self.kernel in ("fused", "compiled"):
+            # Both concatenated kernels carry the frontier as
             # (lane, vertex, count) arrays between supersteps instead
             # of rescanning the (B, n) matrix; the matrix is
             # materialized once after the loop for the cut-off count.
+            superstep = (
+                self._superstep_fused
+                if self.kernel == "fused"
+                else self._superstep_compiled
+            )
             lane_ids, verts = np.nonzero(self.frogs)
             frontier = (lane_ids, verts, self.frogs[lane_ids, verts])
             for step in range(cfg.iterations):
-                frontier = self._superstep_fused(step, frontier)
+                frontier = superstep(step, frontier)
                 if frontier is None:
                     frontier = (None, None, None)
                     break
@@ -437,6 +460,89 @@ class BatchedFrogWildRunner:
         for lane in live:
             lane.ledger.supersteps += 1
             lane.sim_time_s += step_seconds
+
+    # ------------------------------------------------------------------
+    def _pair_matrices(
+        self, rows: np.ndarray, src: np.ndarray, dst: np.ndarray
+    ) -> np.ndarray:
+        """Per-lane (src, dst) record matrices, one bincount pass."""
+        num_machines = self.state.num_machines
+        num_pairs = num_machines * num_machines
+        return np.bincount(
+            (rows * num_machines + src) * num_machines + dst,
+            minlength=len(self.lanes) * num_pairs,
+        ).reshape(len(self.lanes), num_machines, num_machines)
+
+    # ------------------------------------------------------------------
+    def _draw_sync(
+        self,
+        live: list[_Lane],
+        lane_sv: np.ndarray,
+        vert_sv: np.ndarray,
+        sv_bounds: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ps coin pass, shared by the fused and compiled kernels.
+
+        Draws every sync coin (per-lane or batch-shared) in exactly the
+        single-query runner's stream order and returns the ``fresh``
+        mirror matrix of the concatenated frontier plus the physical
+        and per-lane sync record matrices.  Living in one method keeps
+        the two concatenated kernels consuming identical randomness —
+        the compiled tier replaces only deterministic passes.
+        """
+        state = self.state
+        masters = self.tables.masters
+        num_machines = state.num_machines
+        frontier = vert_sv.size
+        if self.shared_sync is None:
+            # Inlined per-lane draw_fresh over the whole frontier: the
+            # mirror bitmap is gathered once, each lane's coins are
+            # drawn into its contiguous slice (same rng call shape as
+            # its standalone run, so streams replay exactly), and the
+            # fresh/synced matrices are assembled in one pass.
+            mirrors = self._mirror_matrix[vert_sv]
+            synced = np.zeros((frontier, num_machines), dtype=bool)
+            for lane in live:
+                sl = slice(sv_bounds[lane.index], sv_bounds[lane.index + 1])
+                rows = sl.stop - sl.start
+                if rows == 0:
+                    continue
+                if lane.ps >= 1.0:
+                    synced[sl] = mirrors[sl]
+                elif lane.ps > 0.0:
+                    coins = lane.rng.random((rows, num_machines)) < lane.ps
+                    synced[sl] = mirrors[sl] & coins
+            fresh = synced.copy()
+            fresh[
+                np.arange(frontier, dtype=np.int64), masters[vert_sv]
+            ] = True
+            rows_nz, cols_nz = np.nonzero(synced)
+            lane_sync = self._pair_matrices(
+                lane_sv[rows_nz], masters[vert_sv[rows_nz]], cols_nz
+            )
+            sync_records = lane_sync.sum(axis=0)
+        else:
+            # One coin per (vertex, mirror) in the union frontier: the
+            # physical sync traffic is independent of the batch size.
+            union_verts = np.unique(vert_sv)
+            fresh_u, synced_u = self.shared_sync.draw_fresh(union_verts)
+            position = np.searchsorted(union_verts, vert_sv)
+            fresh = fresh_u[position]
+            sync_records = sync_pair_records(
+                masters[union_verts], synced_u, num_machines
+            )
+            # Attribution: what each lane would have billed had the
+            # shared coins been its own, apportioned so lane shares sum
+            # exactly to the physical record count.
+            rows_nz, cols_nz = np.nonzero(synced_u[position])
+            demand = self._pair_matrices(
+                lane_sv[rows_nz], masters[vert_sv[rows_nz]], cols_nz
+            )
+            lane_sync = apportion_records(sync_records, demand)
+            self.record_totals["sync_demand"] += int(
+                demand.sum() - sync_records.sum()
+            )
+        return fresh, sync_records, lane_sync
 
     # ------------------------------------------------------------------
     # Fused lane-major kernel (default)
@@ -537,70 +643,10 @@ class BatchedFrogWildRunner:
             [[0], np.cumsum(np.bincount(lane_sv, minlength=num_lanes))]
         )
 
-        def lane_slice(lane: _Lane) -> slice:
-            return slice(sv_bounds[lane.index], sv_bounds[lane.index + 1])
-
-        def pair_matrices(
-            rows: np.ndarray, src: np.ndarray, dst: np.ndarray
-        ) -> np.ndarray:
-            """Per-lane (src, dst) record matrices, one bincount pass."""
-            return (
-                np.bincount(
-                    (rows * num_machines + src) * num_machines + dst,
-                    minlength=num_lanes * num_pairs,
-                )
-                .reshape(num_lanes, num_machines, num_machines)
-            )
-
         # -------- <sync>: ps coins, per-lane or batch-shared ----------
-        if self.shared_sync is None:
-            # Inlined per-lane draw_fresh over the whole frontier: the
-            # mirror bitmap is gathered once, each lane's coins are
-            # drawn into its contiguous slice (same rng call shape as
-            # its standalone run, so streams replay exactly), and the
-            # fresh/synced matrices are assembled in one pass.
-            mirrors = self._mirror_matrix[vert_sv]
-            synced = np.zeros((frontier, num_machines), dtype=bool)
-            for lane in live:
-                sl = lane_slice(lane)
-                rows = sl.stop - sl.start
-                if rows == 0:
-                    continue
-                if lane.ps >= 1.0:
-                    synced[sl] = mirrors[sl]
-                elif lane.ps > 0.0:
-                    coins = lane.rng.random((rows, num_machines)) < lane.ps
-                    synced[sl] = mirrors[sl] & coins
-            fresh = synced.copy()
-            fresh[
-                np.arange(frontier, dtype=np.int64), masters[vert_sv]
-            ] = True
-            rows_nz, cols_nz = np.nonzero(synced)
-            lane_sync = pair_matrices(
-                lane_sv[rows_nz], masters[vert_sv[rows_nz]], cols_nz
-            )
-            sync_records = lane_sync.sum(axis=0)
-        else:
-            # One coin per (vertex, mirror) in the union frontier: the
-            # physical sync traffic is independent of the batch size.
-            union_verts = np.unique(vert_sv)
-            fresh_u, synced_u = self.shared_sync.draw_fresh(union_verts)
-            position = np.searchsorted(union_verts, vert_sv)
-            fresh = fresh_u[position]
-            sync_records = sync_pair_records(
-                masters[union_verts], synced_u, num_machines
-            )
-            # Attribution: what each lane would have billed had the
-            # shared coins been its own, apportioned so lane shares sum
-            # exactly to the physical record count.
-            rows_nz, cols_nz = np.nonzero(synced_u[position])
-            demand = pair_matrices(
-                lane_sv[rows_nz], masters[vert_sv[rows_nz]], cols_nz
-            )
-            lane_sync = apportion_records(sync_records, demand)
-            self.record_totals["sync_demand"] += int(
-                demand.sum() - sync_records.sum()
-            )
+        fresh, sync_records, lane_sync = self._draw_sync(
+            live, lane_sv, vert_sv, sv_bounds
+        )
         _charge_stack(live, lane_sync, with_ops=True)
 
         # -------- enabled groups of the concatenated frontier ----------
@@ -661,7 +707,7 @@ class BatchedFrogWildRunner:
                     machines = grp_machine[flat_pos]
                     sources = masters[vert_sv[bad]].astype(np.int64)
                     remote = machines != sources
-                    lane_repair = pair_matrices(
+                    lane_repair = self._pair_matrices(
                         bad_lanes[remote], sources[remote], machines[remote]
                     )
                     repair_records = lane_repair.sum(axis=0)
@@ -690,7 +736,7 @@ class BatchedFrogWildRunner:
                     machines = machines_u[u_inverse]
                     sources = sources_u[u_inverse]
                     remote = remote_u[u_inverse]
-                    demand = pair_matrices(
+                    demand = self._pair_matrices(
                         lane_sv[bad][remote], sources[remote], machines[remote]
                     )
                     lane_repair = apportion_records(repair_records, demand)
@@ -753,7 +799,7 @@ class BatchedFrogWildRunner:
             dest_u = pair_u % n
             dest_master = masters[dest_u].astype(np.int64)
             remote = host_u != dest_master
-            demand = pair_matrices(
+            demand = self._pair_matrices(
                 lane_u[remote], host_u[remote], dest_master[remote]
             )
             if self.wire_dedupe:
@@ -913,6 +959,286 @@ class BatchedFrogWildRunner:
         host = np.repeat(host, hop_weights)
         frog_lane = np.repeat(hop_lane, hop_weights)
         return dest, host, frog_lane, hop_keys, hop_weights
+
+    # ------------------------------------------------------------------
+    # Compiled kernel tier (Numba single-pass loops, kernels package)
+    # ------------------------------------------------------------------
+    def _superstep_compiled(
+        self,
+        step: int,
+        frontier: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """The fused superstep with compiled deterministic passes.
+
+        Random draws (death coins, sync coins, repair picks, hop draws)
+        run through the exact numpy calls of :meth:`_superstep_fused`,
+        in the same order and shapes; every deterministic gather,
+        scatter, dedupe and reduction runs as a single compiled loop
+        from :mod:`repro.core.kernels` over arena-allocated scratch.
+        Bitwise identical to the fused kernel by construction.
+        """
+        state = self.state
+        cfg = self.config
+        n = state.num_vertices
+        num_lanes = len(self.lanes)
+        empty = np.empty(0, dtype=np.int64)
+        passes = self._passes
+        passes.begin_superstep()
+
+        lane_ids, verts, k = frontier
+        row_counts = np.bincount(lane_ids, minlength=num_lanes)
+        bounds = np.concatenate([[0], np.cumsum(row_counts)])
+        live: list[_Lane] = []
+        for lane in self.lanes:
+            if lane.finished_at is not None:
+                continue
+            if row_counts[lane.index] == 0:
+                lane.finished_at = step
+                continue
+            live.append(lane)
+        if not live:
+            return None
+        active_mask = np.zeros(n, dtype=bool)
+        active_mask[verts] = True
+        active_union = int(active_mask.sum())
+
+        # ---------------- apply(): per-lane death coins ----------------
+        dead = np.empty(lane_ids.size, dtype=np.int64)
+        for lane in live:
+            sl = slice(bounds[lane.index], bounds[lane.index + 1])
+            dead[sl] = lane.rng.binomial(k[sl], cfg.p_teleport)
+            lane.ledger.charge_ops(int(k[sl].sum()))
+        # One compiled loop: count scatter-add + per-machine op charge.
+        apply_ops = passes.apply(self.counts, lane_ids, verts, dead, k)
+        state.charge_many(apply_ops, phase="apply")
+
+        survivors = k - dead
+        moving = survivors > 0
+        lane_sv = lane_ids[moving]
+        vert_sv = verts[moving]
+        k_sv = survivors[moving]
+        if vert_sv.size == 0:
+            self._close_superstep(live, active_union)
+            return (empty, empty, empty)
+
+        next_frontier = self._scatter_compiled(live, lane_sv, vert_sv, k_sv)
+        self._close_superstep(live, active_union)
+        return next_frontier
+
+    def _scatter_compiled(
+        self,
+        live: list[_Lane],
+        lane_sv: np.ndarray,
+        vert_sv: np.ndarray,
+        k_sv: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sync + repair + scatter through the compiled pass pipeline.
+
+        Differences from :meth:`_scatter_fused` are representational
+        only: instead of materializing the per-group ``repeat``/gather
+        arrays, enabled groups are re-walked from the CSR vertex
+        pointers inside L2-sized tiles; repaired rows carry a *forced
+        group* index instead of a mutated ``enabled_grp`` mask; the
+        record dedupe and frontier reduction accumulate dense touched
+        maps instead of ``np.unique`` sorts.  Repair draws consume the
+        same rng values as the fused kernel (the uniform pick over a
+        stranded row's ``g_count`` groups indexes the same group list).
+        """
+        state = self.state
+        cfg = self.config
+        tables = self.tables
+        masters = tables.masters
+        passes = self._passes
+        n = state.num_vertices
+        num_machines = state.num_machines
+        num_lanes = len(self.lanes)
+        num_pairs = num_machines * num_machines
+        frontier = vert_sv.size
+        empty = np.empty(0, dtype=np.int64)
+        sv_bounds = np.concatenate(
+            [[0], np.cumsum(np.bincount(lane_sv, minlength=num_lanes))]
+        )
+
+        # -------- <sync>: identical coin pass to the fused kernel ------
+        fresh, sync_records, lane_sync = self._draw_sync(
+            live, lane_sv, vert_sv, sv_bounds
+        )
+        _charge_stack(live, lane_sync, with_ops=True)
+
+        # -------- enabled groups: CSR walk, no materialization ---------
+        groups_per_row, g_count = passes.enabled_groups(vert_sv, fresh)
+        stranded = groups_per_row == 0
+        repair_records = np.zeros(
+            (num_machines, num_machines), dtype=np.int64
+        )
+        lane_repair = None
+        idle_keys = None
+        idle_weights = None
+        forced_g = passes.arena.take(frontier, np.int64)
+        forced_g.fill(-1)
+        if stranded.any():
+            bad = np.flatnonzero(stranded)
+            if self.erasure.repairs_empty:
+                # At-Least-One-Out-Edge repair: the uniform pick over a
+                # stranded row's groups is drawn exactly like the fused
+                # kernel; ``vertex_ptr[v] + pick`` is the same group
+                # ``block_offsets[row] + pick`` addresses there, so the
+                # repaired machine choice is bitwise identical.
+                dangling = g_count[bad] == 0
+                if dangling.any():
+                    idle = bad[dangling]
+                    idle_keys = lane_sv[idle] * n + vert_sv[idle]
+                    idle_weights = k_sv[idle]
+                    k_sv = k_sv.copy()
+                    k_sv[idle] = 0
+                    bad = bad[~dangling]
+                if bad.size == 0:
+                    pass  # every stranded row was dangling
+                elif self.shared_sync is None:
+                    pick = np.empty(bad.size, dtype=np.int64)
+                    bad_lanes = lane_sv[bad]
+                    for lane in live:
+                        lo, hi = np.searchsorted(
+                            bad_lanes, [lane.index, lane.index + 1]
+                        )
+                        if hi > lo:
+                            pick[lo:hi] = (
+                                lane.rng.random(hi - lo) * g_count[bad[lo:hi]]
+                            ).astype(np.int64)
+                    gsel = tables.vertex_ptr[vert_sv[bad]] + pick
+                    machines = tables.group_machine[gsel]
+                    sources = masters[vert_sv[bad]].astype(np.int64)
+                    remote = machines != sources
+                    lane_repair = self._pair_matrices(
+                        bad_lanes[remote], sources[remote], machines[remote]
+                    )
+                    repair_records = lane_repair.sum(axis=0)
+                else:
+                    bad_verts = vert_sv[bad]
+                    u_bad, u_inverse = np.unique(
+                        bad_verts, return_inverse=True
+                    )
+                    u_count = (
+                        tables.vertex_ptr[u_bad + 1] - tables.vertex_ptr[u_bad]
+                    )
+                    pick_u = (
+                        self.shared_sync.rng.random(u_bad.size) * u_count
+                    ).astype(np.int64)
+                    gsel_u = tables.vertex_ptr[u_bad] + pick_u
+                    machines_u = tables.group_machine[gsel_u]
+                    sources_u = masters[u_bad].astype(np.int64)
+                    remote_u = machines_u != sources_u
+                    repair_records = np.bincount(
+                        sources_u[remote_u] * num_machines
+                        + machines_u[remote_u],
+                        minlength=num_pairs,
+                    ).reshape(num_machines, num_machines)
+                    gsel = gsel_u[u_inverse]
+                    machines = machines_u[u_inverse]
+                    sources = sources_u[u_inverse]
+                    remote = remote_u[u_inverse]
+                    demand = self._pair_matrices(
+                        lane_sv[bad][remote], sources[remote], machines[remote]
+                    )
+                    lane_repair = apportion_records(repair_records, demand)
+                if bad.size:
+                    forced_g[bad] = gsel
+                    _charge_stack(live, lane_repair, with_ops=True)
+            else:
+                # Independent erasures: frogs idle in place this step.
+                idle_keys = lane_sv[bad] * n + vert_sv[bad]
+                idle_weights = k_sv[bad]
+                k_sv = k_sv.copy()
+                k_sv[stranded] = 0
+
+        # -------- enabled totals (post-repair), one compiled pass ------
+        edge_counts, machine_groups, lane_groups = passes.enabled_totals(
+            vert_sv, lane_sv, fresh, forced_g
+        )
+
+        # -------- scatter(): per-lane hop coins, compiled expansion ----
+        hop_keys = empty
+        hop_weights = None
+        rec_lane = rec_host = rec_dest = empty
+        scatter_ops = np.zeros(num_machines, dtype=np.int64)
+        hops_per_lane = np.zeros(num_lanes, dtype=np.int64)
+        if cfg.scatter_mode == "multinomial":
+            k_send = np.where(edge_counts > 0, k_sv, 0)
+            per_lane = np.bincount(
+                lane_sv, weights=k_send, minlength=num_lanes
+            ).astype(np.int64)
+            total = int(k_send.sum())
+            if total:
+                draw = passes.arena.take(total, np.float64)
+                draw_bounds = np.concatenate([[0], np.cumsum(per_lane)])
+                for lane in live:
+                    lo = draw_bounds[lane.index]
+                    hi = draw_bounds[lane.index + 1]
+                    if hi > lo:
+                        draw[lo:hi] = lane.rng.random(hi - lo)
+                rec_dest, rec_host, rec_lane, hop_keys, scatter_ops = (
+                    passes.expand_multinomial(
+                        vert_sv, lane_sv, k_send, edge_counts, forced_g,
+                        fresh, draw,
+                    )
+                )
+                hops_per_lane = per_lane
+        else:
+            total_edges = int(edge_counts.sum())
+            if total_edges:
+                chosen, k_per_edge, prob, edge_lane = passes.expand_binomial(
+                    vert_sv, lane_sv, k_sv, forced_g, fresh, edge_counts,
+                    self._lane_ps,
+                )
+                sent = passes.arena.take(total_edges, np.int64)
+                for lane in live:
+                    lo, hi = np.searchsorted(
+                        edge_lane, [lane.index, lane.index + 1]
+                    )
+                    if hi > lo:
+                        sent[lo:hi] = lane.rng.binomial(
+                            k_per_edge[lo:hi], prob[lo:hi]
+                        )
+                (
+                    hop_keys, hop_weights, rec_lane, rec_host, rec_dest,
+                    scatter_ops, hops_per_lane,
+                ) = passes.binomial_post(chosen, edge_lane, sent)
+
+        scatter_ops = scatter_ops + machine_groups
+        for lane in live:
+            lane.ledger.charge_ops(
+                int(hops_per_lane[lane.index])
+                + int(lane_groups[lane.index])
+            )
+
+        # -------- frog records: dense dedupe, no unique sorts ----------
+        frog_records = np.zeros((num_machines, num_machines), dtype=np.int64)
+        lane_frog = None
+        if rec_dest.size:
+            demand, phys = passes.frog_records(
+                rec_lane, rec_host, rec_dest, dedupe=self.wire_dedupe
+            )
+            if self.wire_dedupe:
+                frog_records = phys
+                lane_frog = apportion_records(frog_records, demand)
+                self.record_totals["frog_demand"] += int(
+                    demand.sum() - frog_records.sum()
+                )
+            else:
+                lane_frog = demand
+                frog_records = demand.sum(axis=0)
+            _charge_stack(live, lane_frog, with_ops=False)
+
+        # -------- physical flush: whole batch, once per round ----------
+        self._flush_round(
+            sync_records, repair_records, frog_records,
+            scatter_ops.astype(np.int64),
+        )
+
+        # -------- next frontier: dense touched-key reduction -----------
+        return passes.reduce_frontier(
+            hop_keys, hop_weights, idle_keys, idle_weights
+        )
 
     # ------------------------------------------------------------------
     # Lane-loop reference kernel (pre-fusion implementation)
@@ -1245,7 +1571,9 @@ def run_frogwild_batch(
     Mirrors :func:`repro.core.run_frogwild`: pass a prebuilt ``state``
     to reuse an ingress across batches (the serving layer does), or let
     this build one.  ``kernel`` selects the fused lane-major kernel
-    (default) or the per-lane ``"lane-loop"`` reference implementation.
+    (default), the per-lane ``"lane-loop"`` reference implementation,
+    or the Numba ``"compiled"`` tier (see :mod:`repro.core.kernels`;
+    falls back to fused with a warning when numba is absent).
     """
     config = config or FrogWildConfig()
     if state is None:

@@ -78,6 +78,16 @@ class FrogWildConfig:
         exact largest-remainder apportionment, so per-lane attributed
         records always sum to the physical count.  Only affects batched
         execution; a single population already combines its own frogs.
+
+    Notes
+    -----
+    Kernel-tier selection (``"lane-loop"`` / ``"fused"`` / the Numba
+    ``"compiled"`` tier) is deliberately *not* a config field: the
+    tiers are bitwise-identical implementations of the same semantics,
+    so the choice is an execution detail carried by the ``kernel=``
+    kwarg of the runner and the serving backends (see
+    :mod:`repro.core.kernels`), never something that could change a
+    result between two runs of one config.
     """
 
     num_frogs: int = 10_000

@@ -1,0 +1,125 @@
+"""Single-allocation buffer arena for per-superstep scratch memory.
+
+The fused numpy kernel allocates a fresh temporary for every pass of
+every superstep (``np.unique`` sort buffers, expansion gathers, key
+arrays); at B=64 on the serving shape that is hundreds of short-lived
+multi-megabyte allocations per query.  The compiled kernel tier instead
+carves all per-superstep scratch out of **one** contiguous block that is
+reused superstep after superstep: :meth:`BufferArena.take` bump-allocates
+an aligned view, :meth:`BufferArena.reset` rewinds the whole arena at
+the start of the next superstep.
+
+The arena also keeps the books the bandwidth claim is measured against
+(``benchmarks/bench_batch_kernel.py`` records them):
+
+* ``capacity_bytes`` — the single backing allocation's size (the arena
+  cost);
+* ``scratch_peak_bytes`` — the high-water mark of live scratch within
+  one superstep;
+* ``alloc_demand_bytes`` — the cumulative bytes every :meth:`take`
+  *requested* over the run, i.e. what per-pass ``np.empty`` calls would
+  have allocated before the arena existed (the pre-arena cost).
+
+Long-lived dense accumulators (the seen/count maps of the dedupe and
+frontier-reduction passes, which must stay zeroed *across* supersteps)
+live in a separate :meth:`persistent` region that ``reset`` never
+touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+_ALIGN = 64  # cache-line alignment for every handed-out view
+
+
+class BufferArena:
+    """Bump allocator over one reusable numpy block."""
+
+    def __init__(self, initial_bytes: int = 1 << 16) -> None:
+        self._block = np.empty(int(initial_bytes), dtype=np.uint8)
+        self._offset = 0
+        self.scratch_peak_bytes = 0
+        self.alloc_demand_bytes = 0
+        self.persistent_bytes = 0
+        self.grows = 0
+        self.resets = 0
+        self._persistent: dict[str, np.ndarray] = {}
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Size of the current backing allocation."""
+        return int(self._block.nbytes)
+
+    def reset(self) -> None:
+        """Rewind the scratch region (start of a new superstep)."""
+        self._offset = 0
+        self.resets += 1
+
+    def take(self, shape, dtype) -> np.ndarray:
+        """Bump-allocate an uninitialized view of ``shape``/``dtype``.
+
+        Views stay valid until the arena grows past them or the caller
+        discards them; callers must not hold a view across
+        :meth:`reset` (the next superstep reuses the bytes).
+        """
+        dtype = np.dtype(dtype)
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(s) for s in shape)
+        count = 1
+        for s in shape:
+            count *= s
+        nbytes = count * dtype.itemsize
+        self.alloc_demand_bytes += nbytes
+        # Align the *absolute* address: numpy guarantees nothing about
+        # the block base, so pad relative to it, not relative to 0.
+        base = self._block.ctypes.data
+        start = self._offset + (-(base + self._offset)) % _ALIGN
+        end = start + nbytes
+        if end > self._block.nbytes:
+            # Grow geometrically.  The old block is *not* copied: views
+            # already handed out this superstep keep it alive on their
+            # own, and the next superstep starts from the bigger block.
+            new_cap = max(2 * self._block.nbytes, end + _ALIGN)
+            self._block = np.empty(new_cap, dtype=np.uint8)
+            self.grows += 1
+            start = (-self._block.ctypes.data) % _ALIGN
+            end = start + nbytes
+        self._offset = end
+        if end > self.scratch_peak_bytes:
+            self.scratch_peak_bytes = end
+        view = self._block[start:end].view(dtype)
+        return view.reshape(shape)
+
+    def persistent(self, name: str, size, dtype) -> np.ndarray:
+        """A named zero-initialized buffer that survives :meth:`reset`.
+
+        Grows (re-zeroed) when a larger ``size`` is requested; callers
+        rely on these staying all-zero between uses and restore that
+        invariant themselves after each pass.
+        """
+        dtype = np.dtype(dtype)
+        size = int(size)
+        arr = self._persistent.get(name)
+        if arr is None or arr.size < size or arr.dtype != dtype:
+            if arr is not None:
+                self.persistent_bytes -= arr.nbytes
+            arr = np.zeros(size, dtype=dtype)
+            self._persistent[name] = arr
+            self.persistent_bytes += arr.nbytes
+        return arr
+
+    def stats(self) -> dict[str, int]:
+        """Machine-readable accounting for the perf record."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "scratch_peak_bytes": int(self.scratch_peak_bytes),
+            "alloc_demand_bytes": int(self.alloc_demand_bytes),
+            "persistent_bytes": int(self.persistent_bytes),
+            "grows": int(self.grows),
+            "resets": int(self.resets),
+        }

@@ -233,6 +233,12 @@ class RankingService:
         and fans every batch out across them.  ``None`` autotunes the
         shard count from the fleet size and the default config's frog
         budget (:func:`~repro.serving.choose_num_shards`).
+    kernel:
+        Batch-kernel tier forwarded to any backend this constructor
+        builds (ignored when ``backend`` is an explicit instance):
+        ``"fused"`` (default), ``"compiled"`` (Numba tier from
+        :mod:`repro.core.kernels`; falls back to fused with one warning
+        when Numba is absent) or ``"lane-loop"`` (reference loop).
     max_delay_s:
         Deadline for the scheduled path (:meth:`submit`): a partial
         batch dispatches once its oldest query has waited this long.
@@ -272,6 +278,7 @@ class RankingService:
         num_shards: int | None = 1,
         max_delay_s: float | None = None,
         generation: Callable[[], int] | None = None,
+        kernel: str = "fused",
     ) -> None:
         from ..dynamic import DynamicDiGraph
 
@@ -308,6 +315,7 @@ class RankingService:
                     cost_model=cost_model,
                     size_model=size_model,
                     seed=seed,
+                    kernel=kernel,
                 )
             elif kind == "sharded":
                 backend = ShardedBackend(
@@ -318,6 +326,7 @@ class RankingService:
                     cost_model=cost_model,
                     size_model=size_model,
                     seed=seed,
+                    kernel=kernel,
                 )
             elif kind == "local":
                 backend = LocalBackend(
@@ -327,6 +336,7 @@ class RankingService:
                     cost_model=cost_model,
                     size_model=size_model,
                     seed=seed,
+                    kernel=kernel,
                 )
             else:
                 raise ConfigError(
