@@ -1,0 +1,169 @@
+"""Traffic benchmark: a flash crowd with and without admission control.
+
+The claim under test is the serving conclusion of the paper's
+accuracy-for-cost knob: when an open-loop burst pushes the offered load
+past capacity (rho > 1), an unprotected service's pending queue grows
+without bound and tail latency follows it, while the admission
+controller keeps the queue at its configured depth by walking queries
+down the degradation ladder (fewer frogs, earlier stop — each degraded
+answer stamped with its Theorem-1 error bound) and shedding the rest
+with a typed, fail-fast :class:`~repro.errors.OverloadError`.
+
+The whole scenario replays on a virtual clock against a calibrated
+single-server queue model, so it is deterministic and takes well under
+a second regardless of wall-clock noise; the headline numbers land in
+``BENCH_serving.json`` via :func:`repro.experiments.record_perf`
+(override the path with ``REPRO_PERF_PATH``).
+
+Run directly: ``python -m pytest benchmarks/bench_traffic.py -q``.
+``REPRO_BENCH_SMOKE=1`` shrinks the graph and burst for the CI lane;
+the asserted invariants are identical at both scales.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import FrogWildConfig
+from repro.experiments import record_perf
+from repro.graph import twitter_like
+from repro.serving import RankingService, VirtualClock
+from repro.traffic import (
+    AdmissionController,
+    BurstArrivals,
+    TrafficHarness,
+    TrafficWorkload,
+    UserPopulation,
+)
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+N = 200 if SMOKE else 400
+USERS = 200 if SMOKE else 400
+FROGS = 800 if SMOKE else 2_000
+ITERATIONS = 3 if SMOKE else 4
+MACHINES = 4 if SMOKE else 8
+MAX_PENDING = 12 if SMOKE else 16
+DURATION_S = 4.0 if SMOKE else 6.0
+SCALE = 40.0 if SMOKE else 25.0
+BURST = (
+    dict(base_qps=3.0, burst_qps=150.0, burst_start_s=1.0,
+         burst_duration_s=1.0, seed=2)
+    if SMOKE
+    else dict(base_qps=3.0, burst_qps=300.0, burst_start_s=2.0,
+              burst_duration_s=1.5, seed=2)
+)
+
+_CACHE: dict[str, object] = {}
+
+
+def _build_service(graph, admission=None):
+    return RankingService(
+        graph,
+        FrogWildConfig(num_frogs=FROGS, iterations=ITERATIONS, seed=0),
+        num_machines=MACHINES,
+        max_batch_size=4,
+        max_delay_s=0.05,
+        cache_ttl_s=0.5,
+        cache_capacity=max(256, 2 * USERS),
+        clock=VirtualClock(),
+        admission=admission,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    if "runs" not in _CACHE:
+        graph = twitter_like(n=N, seed=7)
+        population = UserPopulation(
+            num_users=USERS,
+            num_vertices=graph.num_vertices,
+            seeds_per_user=2,
+            seed=1,
+        )
+        workload = TrafficWorkload(
+            population, BurstArrivals(**BURST), seed=3
+        )
+
+        open_loop = TrafficHarness(
+            _build_service(graph), workload, service_time_scale=SCALE
+        ).run_virtual(DURATION_S)
+
+        service = _build_service(
+            graph, admission=AdmissionController(max_pending=MAX_PENDING)
+        )
+        admitted = TrafficHarness(
+            service, workload, service_time_scale=SCALE
+        ).run_virtual(DURATION_S)
+        _CACHE["runs"] = (open_loop, admitted)
+    return _CACHE["runs"]
+
+
+def test_overload_queue_grows_without_admission(runs):
+    open_loop, _ = runs
+    assert open_loop.report.queue_depth_max > 2 * MAX_PENDING
+    # Monotone growth through the burst: each quarter's peak depth
+    # exceeds the previous quarter's — the open-loop signature.
+    start, quarter = BURST["burst_start_s"], BURST["burst_duration_s"] / 4
+    peaks = [
+        max(
+            d
+            for t, d in open_loop.depth_samples
+            if start + i * quarter <= t < start + (i + 1) * quarter
+        )
+        for i in range(4)
+    ]
+    assert peaks == sorted(peaks)
+    assert peaks[-1] > peaks[0]
+
+
+def test_admission_bounds_queue_and_tames_tail(runs):
+    open_loop, admitted = runs
+    assert admitted.report.queue_depth_max <= MAX_PENDING
+    p99 = admitted.report.traffic["latency_p99"]
+    assert np.isfinite(p99) and p99 > 0
+    assert p99 < 0.75 * open_loop.report.traffic["latency_p99"]
+    summary = admitted.report.traffic
+    assert summary["shed"] > 0
+    assert 0.0 < summary["shed_rate"] < 1.0
+    assert summary["degraded"] > 0
+    assert summary["degraded_with_bound"] == summary["degraded"]
+    assert summary["max_error_bound"] > 0
+
+
+def test_record_headline_numbers(runs):
+    open_loop, admitted = runs
+    summary = admitted.report.traffic
+    print(
+        f"\nopen-loop depth {open_loop.report.queue_depth_max} "
+        f"p99 {open_loop.report.traffic['latency_p99']:.3f}s | "
+        f"admitted depth {admitted.report.queue_depth_max} "
+        f"p99 {summary['latency_p99']:.3f}s "
+        f"shed {summary['shed']:.0f} degraded {summary['degraded']:.0f}"
+    )
+    record_perf(
+        "traffic-overload",
+        {
+            "smoke": int(SMOKE),
+            "arrivals": float(admitted.report.arrivals),
+            "offered_rate_qps": admitted.report.offered_rate_qps,
+            "max_pending": float(MAX_PENDING),
+            "no_admission_queue_depth_max": float(
+                open_loop.report.queue_depth_max
+            ),
+            "no_admission_latency_p99_s": open_loop.report.traffic[
+                "latency_p99"
+            ],
+            "queue_depth_max": float(admitted.report.queue_depth_max),
+            "latency_p50_s": summary["latency_p50"],
+            "latency_p99_s": summary["latency_p99"],
+            "shed": summary["shed"],
+            "shed_rate": summary["shed_rate"],
+            "degraded": summary["degraded"],
+            "degraded_with_bound": summary["degraded_with_bound"],
+            "max_error_bound": summary["max_error_bound"],
+            "cache_hit_rate": summary["cache_hit_rate"],
+        },
+    )

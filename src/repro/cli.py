@@ -25,6 +25,11 @@ Subcommands
 ``live-bench``
     Drive a churn stream against the live ranking service: incremental
     ingress maintenance, epoch swaps, exact cache invalidation.
+``traffic-bench``
+    Replay an open-loop traffic workload (Poisson / diurnal / burst)
+    against the service on a virtual clock, once without and once with
+    admission control, and report queue depth, shed/degrade rates,
+    latency quantiles and the error bounds degraded answers carry.
 """
 
 from __future__ import annotations
@@ -295,6 +300,52 @@ def build_parser() -> argparse.ArgumentParser:
              "(deltas coalesce; the query path pays only the swap)",
     )
     live.add_argument(
+        "--save-json", metavar="PATH",
+        help="merge a machine-readable perf record into this JSON file "
+             "(default name BENCH_serving.json)",
+    )
+
+    traffic = sub.add_parser(
+        "traffic-bench",
+        help="replay open-loop traffic against the serving layer, with "
+             "and without admission control, on a virtual clock",
+    )
+    traffic.add_argument("--n", type=int, default=400,
+                         help="vertices of the twitter-like graph")
+    traffic.add_argument("--users", type=int, default=400,
+                         help="Zipf-popular user population size")
+    traffic.add_argument("--seeds-per-user", type=int, default=2)
+    traffic.add_argument("--frogs", type=int, default=2_000)
+    traffic.add_argument("--iterations", type=int, default=4)
+    traffic.add_argument("--machines", type=int, default=8)
+    traffic.add_argument("--batch-size", type=int, default=4)
+    traffic.add_argument("--max-delay-ms", type=float, default=50.0)
+    traffic.add_argument("--cache-ttl-s", type=float, default=0.5)
+    traffic.add_argument(
+        "--arrivals", choices=("burst", "poisson", "diurnal"),
+        default="burst",
+    )
+    traffic.add_argument("--base-qps", type=float, default=3.0)
+    traffic.add_argument("--burst-qps", type=float, default=300.0,
+                         help="burst (or diurnal peak / poisson) rate")
+    traffic.add_argument("--burst-start-s", type=float, default=2.0)
+    traffic.add_argument("--burst-duration-s", type=float, default=1.5)
+    traffic.add_argument("--duration-s", type=float, default=6.0)
+    traffic.add_argument(
+        "--service-time-scale", type=float, default=25.0,
+        help="calibration from simulated batch makespan to harness "
+             "service time; >1 pushes the burst past modeled capacity",
+    )
+    traffic.add_argument("--max-pending", type=int, default=16,
+                         help="admission bound on scheduler queue depth")
+    traffic.add_argument("--top-k", type=int, default=10)
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument(
+        "--smoke", action="store_true",
+        help="pin every knob to the deterministic acceptance scenario "
+             "(ignores other scenario flags; what the CI lane runs)",
+    )
+    traffic.add_argument(
         "--save-json", metavar="PATH",
         help="merge a machine-readable perf record into this JSON file "
              "(default name BENCH_serving.json)",
@@ -949,6 +1000,158 @@ def _live_bench_background(args, service, churn, dynamic, queries) -> int:
     return 0
 
 
+def _traffic_scenario(args):
+    """Build (graph, config, workload, service factory inputs) once."""
+    from .graph.generators import twitter_like
+    from .traffic import (
+        BurstArrivals,
+        DiurnalArrivals,
+        PoissonArrivals,
+        TrafficWorkload,
+        UserPopulation,
+    )
+
+    graph = twitter_like(n=args.n, seed=7)
+    config = FrogWildConfig(
+        num_frogs=args.frogs, iterations=args.iterations, seed=args.seed
+    )
+    population = UserPopulation(
+        num_users=args.users,
+        num_vertices=graph.num_vertices,
+        seeds_per_user=args.seeds_per_user,
+        k=args.top_k,
+        seed=1,
+    )
+    if args.arrivals == "poisson":
+        arrivals = PoissonArrivals(rate_qps=args.burst_qps, seed=2)
+    elif args.arrivals == "diurnal":
+        arrivals = DiurnalArrivals(
+            trough_qps=args.base_qps,
+            peak_qps=args.burst_qps,
+            period_s=args.duration_s,
+            seed=2,
+        )
+    else:
+        arrivals = BurstArrivals(
+            base_qps=args.base_qps,
+            burst_qps=args.burst_qps,
+            burst_start_s=args.burst_start_s,
+            burst_duration_s=args.burst_duration_s,
+            seed=2,
+        )
+    workload = TrafficWorkload(population, arrivals, seed=3)
+    return graph, config, workload
+
+
+def _cmd_traffic_bench(args) -> int:
+    from .serving import RankingService, VirtualClock
+    from .traffic import AdmissionController, TrafficHarness
+
+    if args.smoke:
+        # The deterministic acceptance scenario the tests pin: a 100x
+        # flash crowd against a single modeled server, rho > 1 during
+        # the burst.
+        for name, value in (
+            ("n", 400), ("users", 400), ("seeds_per_user", 2),
+            ("frogs", 2_000), ("iterations", 4), ("machines", 8),
+            ("batch_size", 4), ("max_delay_ms", 50.0),
+            ("cache_ttl_s", 0.5), ("arrivals", "burst"),
+            ("base_qps", 3.0), ("burst_qps", 300.0),
+            ("burst_start_s", 2.0), ("burst_duration_s", 1.5),
+            ("duration_s", 6.0), ("service_time_scale", 25.0),
+            ("max_pending", 16), ("top_k", 10), ("seed", 0),
+        ):
+            setattr(args, name, value)
+    graph, config, workload = _traffic_scenario(args)
+
+    def build_service(admission):
+        return RankingService(
+            graph,
+            config,
+            num_machines=args.machines,
+            max_batch_size=args.batch_size,
+            max_delay_s=args.max_delay_ms / 1000.0,
+            cache_ttl_s=args.cache_ttl_s,
+            cache_capacity=max(256, 2 * args.users),
+            seed=args.seed,
+            clock=VirtualClock(),
+            admission=admission,
+        )
+
+    print(
+        f"workload: {graph.num_vertices:,} vertices, "
+        f"{args.users} users, {args.arrivals} arrivals "
+        f"(peak {workload.arrivals.peak_rate:g} qps) over "
+        f"{args.duration_s:g} virtual seconds"
+    )
+
+    open_loop = TrafficHarness(
+        build_service(admission=None),
+        workload,
+        service_time_scale=args.service_time_scale,
+    ).run_virtual(args.duration_s)
+    base = open_loop.report
+
+    admitted = TrafficHarness(
+        build_service(AdmissionController(max_pending=args.max_pending)),
+        workload,
+        service_time_scale=args.service_time_scale,
+    ).run_virtual(args.duration_s)
+    rep = admitted.report
+
+    print(f"\nwithout admission control ({base.arrivals} arrivals)")
+    print(f"  queue depth max/mean    : {base.queue_depth_max} / "
+          f"{base.queue_depth_mean:.1f}")
+    print(f"  latency p50/p99         : "
+          f"{base.traffic['latency_p50']:.3f} / "
+          f"{base.traffic['latency_p99']:.3f} s")
+    print(f"  utilization             : {base.utilization:.3f}")
+    print(f"\nwith admission control (max_pending={args.max_pending})")
+    print(f"  queue depth max/mean    : {rep.queue_depth_max} / "
+          f"{rep.queue_depth_mean:.1f}")
+    print(f"  latency p50/p99         : "
+          f"{rep.traffic['latency_p50']:.3f} / "
+          f"{rep.traffic['latency_p99']:.3f} s")
+    print(f"  utilization             : {rep.utilization:.3f}")
+    print(f"  shed                    : {rep.admission['shed']} "
+          f"({rep.admission['shed_rate']:.1%} of offered)")
+    print(f"  degraded                : {rep.admission['degraded']} "
+          f"(all carrying error bounds: "
+          f"{rep.traffic['degraded_with_bound'] == rep.traffic['degraded']})")
+    print(f"  max degraded error bound: "
+          f"{rep.traffic['max_error_bound']:.4f}")
+    print(f"  cache hit rate          : "
+          f"{rep.traffic['cache_hit_rate']:.1%}")
+    if args.save_json:
+        from .experiments import record_perf
+
+        path = record_perf(
+            "traffic-bench",
+            {
+                "arrivals": base.arrivals,
+                "duration_s": args.duration_s,
+                "offered_rate_qps": base.offered_rate_qps,
+                "no_admission_queue_depth_max": base.queue_depth_max,
+                "no_admission_latency_p99_s": base.traffic["latency_p99"],
+                "no_admission_utilization": base.utilization,
+                "max_pending": args.max_pending,
+                "queue_depth_max": rep.queue_depth_max,
+                "latency_p50_s": rep.traffic["latency_p50"],
+                "latency_p99_s": rep.traffic["latency_p99"],
+                "utilization": rep.utilization,
+                "shed": rep.admission["shed"],
+                "shed_rate": rep.admission["shed_rate"],
+                "degraded": rep.traffic["degraded"],
+                "degraded_with_bound": rep.traffic["degraded_with_bound"],
+                "max_error_bound": rep.traffic["max_error_bound"],
+                "cache_hit_rate": rep.traffic["cache_hit_rate"],
+            },
+            path=args.save_json,
+        )
+        print(f"perf record merged into {path}")
+    return 0
+
+
 def _cmd_chart(args) -> int:
     from .experiments import load_figure_json
     from .viz import figure_chart
@@ -979,6 +1182,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "serve-bench": _cmd_serve_bench,
     "live-bench": _cmd_live_bench,
+    "traffic-bench": _cmd_traffic_bench,
     "chart": _cmd_chart,
 }
 

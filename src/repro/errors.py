@@ -34,3 +34,17 @@ class ConfigError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment description cannot be executed."""
+
+
+class OverloadError(ReproError):
+    """Raised when admission control sheds a query instead of queueing it.
+
+    Carries the queue ``depth`` observed at the admission decision and
+    the ``limit`` it exceeded, so callers (and retry layers) can reason
+    about how overloaded the service was instead of parsing a message.
+    """
+
+    def __init__(self, message: str, depth: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit

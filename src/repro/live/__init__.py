@@ -47,6 +47,7 @@ from .ingress import (
     IncrementalIngress,
     IncrementalReplication,
     IngressUpdate,
+    RefreshPlan,
     ReplicationPatch,
 )
 from .refresh import BackgroundRefresher, RefresherStats, RefreshTicket
@@ -58,6 +59,7 @@ __all__ = [
     "IncrementalIngress",
     "IncrementalReplication",
     "IngressUpdate",
+    "RefreshPlan",
     "ReplicationPatch",
     "BackgroundRefresher",
     "RefresherStats",

@@ -260,6 +260,34 @@ class IncrementalIngress:
 
 
 @dataclass(frozen=True)
+class RefreshPlan:
+    """Everything one :meth:`IncrementalReplication.refresh` decided.
+
+    The plan/apply split exists so the patch *computation* can run
+    somewhere else — e.g. on the shard's own worker process through
+    :meth:`~repro.serving.ProcessPoolBackend.patch_tables` — while the
+    bookkeeping (placement diff, rebuild gating, history) stays with
+    the replicator.  ``full`` plans always apply locally (a rebuild is
+    a from-scratch construction, not a patch).
+    """
+
+    #: Sorted edge keys (``src * n + dst``) of the target snapshot.
+    keys: np.ndarray
+    #: Maintained placement of the target snapshot.
+    partition: EdgePartition
+    #: Vertices whose replica row / master / adjacency must be redone.
+    changed: np.ndarray
+    #: Edges changed between the previous and target placements.
+    edges_changed: int
+    #: Incident-edge regroup work a patch would do (both directions).
+    edges_regrouped: int
+    #: Whether churn exceeded the policy gate — rebuild, don't patch.
+    full: bool
+    #: ``time.perf_counter()`` at planning time (patch_time_s anchor).
+    start: float
+
+
+@dataclass(frozen=True)
 class ReplicationPatch:
     """Table-maintenance record of one :meth:`IncrementalReplication.refresh`.
 
@@ -345,9 +373,16 @@ class IncrementalReplication:
         return table
 
     # ------------------------------------------------------------------
-    def refresh(self, snapshot: DiGraph) -> ReplicationPatch:
-        """Bring the table to ``snapshot``; patch, or rebuild if churn
-        exceeds ``policy.full_rebuild_fraction`` of the edge set."""
+    def plan_refresh(self, snapshot: DiGraph) -> RefreshPlan:
+        """Diff ``snapshot`` against the maintained placement.
+
+        Pure planning — nothing is mutated.  The returned
+        :class:`RefreshPlan` says whether a patch suffices (and for
+        which vertices) or churn crossed the
+        ``policy.full_rebuild_fraction`` gate; feed it to
+        :meth:`apply_plan`, optionally with a table somebody else
+        already patched from it.
+        """
         start = time.perf_counter()
         n = snapshot.num_vertices
         if n != self.table.graph.num_vertices:
@@ -373,30 +408,67 @@ class IncrementalReplication:
         full = edges_regrouped > self.policy.full_rebuild_fraction * 2 * max(
             keys.size, 1
         )
-        if full:
+        return RefreshPlan(
+            keys=keys,
+            partition=partition,
+            changed=changed,
+            edges_changed=diff.num_changed,
+            edges_regrouped=edges_regrouped,
+            full=full,
+            start=start,
+        )
+
+    def apply_plan(
+        self,
+        snapshot: DiGraph,
+        plan: RefreshPlan,
+        table: ReplicationTable | None = None,
+    ) -> ReplicationPatch:
+        """Adopt ``snapshot`` per ``plan`` and record the patch.
+
+        With ``table=None`` the patch is computed here (the serial
+        path).  A caller that already computed the patched table
+        elsewhere — a shard worker holding the same structurally-equal
+        old table, the cached noise and the plan's inputs — passes it
+        in and only the bookkeeping runs; remotely patched tables skip
+        :func:`prime_ingress_caches` because the processes that will
+        execute on them prime their own mapped copies at attach time.
+        ``full`` plans ignore ``table`` and rebuild from scratch.
+        """
+        n = snapshot.num_vertices
+        if plan.full:
             self.table = self._rebuild(snapshot)
             self.full_rebuilds += 1
             vertices_patched = n
-            edges_regrouped = 2 * int(keys.size)
+            edges_regrouped = 2 * int(plan.keys.size)
         else:
-            vertices_patched = int(changed.size)
-            table = self.table.patched(snapshot, partition, changed, self._noise)
-            prime_ingress_caches(table, snapshot)
+            vertices_patched = int(plan.changed.size)
+            edges_regrouped = plan.edges_regrouped
+            if table is None:
+                table = self.table.patched(
+                    snapshot, plan.partition, plan.changed, self._noise
+                )
+                prime_ingress_caches(table, snapshot)
             self.table = table
-            self._snap_keys = keys
-            self._snap_machines = partition.edge_machine
+            self._snap_keys = plan.keys
+            self._snap_machines = plan.partition.edge_machine
         patch = ReplicationPatch(
             step=self._step,
-            num_edges=int(keys.size),
-            edges_changed=diff.num_changed,
+            num_edges=int(plan.keys.size),
+            edges_changed=plan.edges_changed,
             vertices_patched=vertices_patched,
             edges_regrouped=edges_regrouped,
-            full_rebuild=full,
-            patch_time_s=time.perf_counter() - start,
+            full_rebuild=plan.full,
+            patch_time_s=time.perf_counter() - plan.start,
         )
         self.history.append(patch)
         self._step += 1
         return patch
+
+    def refresh(self, snapshot: DiGraph) -> ReplicationPatch:
+        """Bring the table to ``snapshot``; patch, or rebuild if churn
+        exceeds ``policy.full_rebuild_fraction`` of the edge set."""
+        return self.apply_plan(snapshot, self.plan_refresh(snapshot))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -248,7 +248,13 @@ class LiveRankingService(RankingService):
         (construction ingress, paid once); every later call *patches*
         them to the new snapshot via :class:`IncrementalReplication` —
         the patch records land in ``self._last_patches`` for the
-        refresh summary.
+        refresh summary.  Under process execution the per-shard patch
+        computations fan out to the shard workers
+        (:meth:`~repro.serving.ProcessPoolBackend.patch_tables`): each
+        worker patches its own shard's table on its own core, and the
+        replicators just adopt the results — structurally equal to the
+        serial path by the deterministic-noise invariant, which is why
+        the fan-out requires an integer seed.
         """
         if self.replicators is None:
             self.replicators = [
@@ -262,9 +268,16 @@ class LiveRankingService(RankingService):
             ]
             self._last_patches = []
         else:
-            self._last_patches = [
-                replicator.refresh(snapshot)
+            plans = [
+                replicator.plan_refresh(snapshot)
                 for replicator in self.replicators
+            ]
+            patched = self._patch_remote(snapshot, plans)
+            self._last_patches = [
+                replicator.apply_plan(snapshot, plan, table=table)
+                for replicator, plan, table in zip(
+                    self.replicators, plans, patched
+                )
             ]
         tables = [replicator.table for replicator in self.replicators]
         if self.execution == "process":
@@ -305,6 +318,24 @@ class LiveRankingService(RankingService):
             seed=self._seed,
             replication=tables[0],
         )
+
+    def _patch_remote(self, snapshot: DiGraph, plans: list) -> list:
+        """Per-shard patched tables from the worker pool, or ``None``\\ s.
+
+        The fan-out only pays off (and only preserves the structural
+        invariant) when there are live shard workers holding the
+        current tables, more than one shard to parallelize over, and a
+        deterministic noise seed; otherwise every slot is ``None`` and
+        :meth:`IncrementalReplication.apply_plan` computes serially.
+        """
+        if (
+            self.execution != "process"
+            or self._process_backend is None
+            or self._seed is None
+            or self._live_shards <= 1
+        ):
+            return [None] * len(plans)
+        return self._process_backend.patch_tables(snapshot, plans)
 
     # ------------------------------------------------------------------
     def refresh(self, delta: GraphDelta | None = None) -> RefreshUpdate:

@@ -177,6 +177,54 @@ class QueryCoalescer:
                 del self._pending[config]
         return batches
 
+    def has_full(self) -> bool:
+        """Whether any config group has a full batch ready."""
+        return any(
+            len(entries) >= self.max_batch_size
+            for entries in self._pending.values()
+        )
+
+    def pop_next_entries(
+        self, now: float, max_delay_s: float | None
+    ) -> tuple[FrogWildConfig, list[PendingQuery], str] | None:
+        """Remove and return at most **one** dispatchable batch.
+
+        Serialized dispatch for the single-server traffic harness: a
+        full slice of any group goes first (kind ``"fill"``); otherwise
+        the earliest-due group contributes its oldest
+        ``max_batch_size`` entries (kind ``"deadline"``), the
+        remainder staying queued with arrivals intact.  ``None`` when
+        nothing is dispatchable at ``now`` (with ``max_delay_s=None``
+        only full batches ever qualify).
+        """
+        for config in list(self._pending):
+            entries = self._pending[config]
+            if len(entries) < self.max_batch_size:
+                continue
+            batch = entries[: self.max_batch_size]
+            rest = entries[self.max_batch_size:]
+            if rest:
+                self._pending[config] = rest
+            else:
+                del self._pending[config]
+            return config, batch, "fill"
+        if max_delay_s is None:
+            return None
+        best: tuple[float, FrogWildConfig] | None = None
+        for config, entries in self._pending.items():
+            deadline = self._group_deadline(entries, max_delay_s)
+            if deadline <= now and (best is None or deadline < best[0]):
+                best = (deadline, config)
+        if best is None:
+            return None
+        config = best[1]
+        entries = self._pending.pop(config)
+        batch = entries[: self.max_batch_size]
+        rest = entries[self.max_batch_size:]
+        if rest:
+            self._pending[config] = rest
+        return config, batch, "deadline"
+
     def pop_due_entries(
         self, now: float, max_delay_s: float
     ) -> list[tuple[FrogWildConfig, list[PendingQuery]]]:

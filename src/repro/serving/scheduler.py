@@ -97,6 +97,12 @@ class BatchScheduler:
         :meth:`flush` (the synchronous path) or a fill.
     clock:
         Injectable time source; defaults to :func:`time.monotonic`.
+    hold_filled:
+        When True, :meth:`enqueue` keeps full batches queued instead
+        of returning them for inline dispatch.  The traffic harness
+        sets this: under its single-server queue model a full batch
+        must still wait for the server to free up, and dispatches one
+        at a time via :meth:`dispatch_next`.
     """
 
     def __init__(
@@ -105,12 +111,14 @@ class BatchScheduler:
         coalescer: QueryCoalescer,
         max_delay_s: float | None = None,
         clock: Callable[[], float] | None = None,
+        hold_filled: bool = False,
     ) -> None:
         if max_delay_s is not None and max_delay_s < 0:
             raise ConfigError("max_delay_s must be non-negative (or None)")
         self._dispatch = dispatch
         self.coalescer = coalescer
         self.max_delay_s = max_delay_s
+        self.hold_filled = hold_filled
         self._clock = clock or time.monotonic
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
@@ -161,7 +169,9 @@ class BatchScheduler:
             self.coalescer.add(
                 query, default, arrival=self._clock(), payload=payload
             )
-            full = self.coalescer.pop_full_entries()
+            full = (
+                [] if self.hold_filled else self.coalescer.pop_full_entries()
+            )
             self._cond.notify_all()
         return full
 
@@ -179,6 +189,38 @@ class BatchScheduler:
             return None
         with self._cond:
             return self.coalescer.next_deadline(self.max_delay_s)
+
+    def next_ready(self, now: float | None = None) -> float | None:
+        """Earliest instant *any* batch is dispatchable, or ``None``.
+
+        A full batch is dispatchable immediately (returns ``now``);
+        otherwise the oldest pending group's deadline, if a deadline
+        policy exists.  The traffic harness uses this to interleave
+        dispatch events with arrivals in strict virtual-time order.
+        """
+        with self._cond:
+            if self.coalescer.has_full():
+                return self._clock() if now is None else now
+            if self.max_delay_s is None:
+                return None
+            return self.coalescer.next_deadline(self.max_delay_s)
+
+    def dispatch_next(self, now: float | None = None) -> int:
+        """Dispatch at most **one** ready batch; returns its size.
+
+        Full batches first, then the earliest-due partial group's
+        oldest slice; 0 when nothing is dispatchable at ``now``.  This
+        is the serialized companion of :meth:`poll` for callers
+        modelling a single busy server (the traffic harness).
+        """
+        now = self._clock() if now is None else now
+        with self._cond:
+            popped = self.coalescer.pop_next_entries(now, self.max_delay_s)
+        if popped is None:
+            return 0
+        config, entries, kind = popped
+        self._run_batches([(config, entries)], kind)
+        return len(entries)
 
     def poll(self, now: float | None = None) -> int:
         """Dispatch every group whose deadline has expired.

@@ -32,15 +32,16 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, Sequence
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 import numpy as np
 
 from ..cluster import CostModel, MessageSizeModel
 from ..core import FrogWildConfig
 from ..engine import RunReport
-from ..errors import ConfigError, EngineError
+from ..errors import ConfigError, EngineError, OverloadError
 from ..graph import DiGraph
 from .backend import (
     BatchOutcome,
@@ -51,7 +52,11 @@ from .backend import (
 )
 from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import TTLCache
-from .scheduler import BatchScheduler
+from .scheduler import BatchScheduler, VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..traffic.admission import AdmissionController
+    from ..traffic.trace import QueryTrace, QueryTracer
 
 __all__ = [
     "RankingAnswer",
@@ -63,7 +68,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RankingAnswer:
-    """One served top-k answer plus its provenance and attributed cost."""
+    """One served top-k answer plus its provenance and attributed cost.
+
+    ``degrade_level`` is 0 for a full-fidelity answer; a positive
+    level means admission control shrank this query's frog budget /
+    iteration cut-off under backlog, and ``error_bound`` carries the
+    Theorem-1 epsilon the degraded config still guarantees — accuracy
+    given up under load is reported, never silently lost.
+    """
 
     query: RankingQuery
     vertices: np.ndarray
@@ -71,6 +83,12 @@ class RankingAnswer:
     cached: bool
     batch_size: int
     report: RunReport
+    degrade_level: int = 0
+    error_bound: float | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.degrade_level > 0
 
     @property
     def network_bytes(self) -> int:
@@ -94,6 +112,9 @@ class RankingFuture:
         self._event = threading.Event()
         self._answer: RankingAnswer | None = None
         self._error: BaseException | None = None
+        #: The per-query trace following this future through the
+        #: service (set when the owning service has a tracer attached).
+        self.trace: "QueryTrace | None" = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -115,24 +136,60 @@ class RankingFuture:
         self._event.set()
 
 
+#: How many recent executed batch sizes :class:`ServiceStats` retains
+#: for its percentile window (the exact count/sum/max aggregates cover
+#: the full lifetime regardless).
+BATCH_SIZE_WINDOW = 512
+
+
 @dataclass
 class ServiceStats:
-    """Lifetime counters of one :class:`RankingService`."""
+    """Lifetime counters of one :class:`RankingService`.
+
+    Executed batch sizes are kept as O(1) aggregates
+    (``batch_size_count``/``batch_size_sum``/``largest_batch``) plus a
+    bounded recent-window reservoir — a service under sustained load
+    runs millions of batches, so the unbounded list this once was is
+    exactly the slow leak the traffic harness exists to catch.
+    """
 
     queries_served: int = 0
     queries_executed: int = 0
+    queries_shed: int = 0
+    queries_degraded: int = 0
     batches_run: int = 0
     largest_batch: int = 0
+    batch_size_count: int = 0
+    batch_size_sum: int = 0
     frogs_launched: int = 0
     attributed_network_bytes: int = 0
     shared_network_bytes: int = 0
     simulated_time_s: float = 0.0
-    batch_sizes: list[int] = field(default_factory=list)
+    _recent_batch_sizes: deque = field(
+        default_factory=lambda: deque(maxlen=BATCH_SIZE_WINDOW),
+        repr=False,
+    )
     # Per-shard cost partition, keyed by shard id (empty when the
     # backend is unsharded).
     shard_shared_bytes: dict[int, int] = field(default_factory=dict)
     shard_attributed_bytes: dict[int, int] = field(default_factory=dict)
     shard_cpu_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        """Recent executed batch sizes (bounded window, oldest first).
+
+        Compatibility view of the pre-bounded attribute; use the exact
+        aggregates for lifetime statistics.
+        """
+        return list(self._recent_batch_sizes)
+
+    def record_batch_size(self, size: int) -> None:
+        size = int(size)
+        self.batch_size_count += 1
+        self.batch_size_sum += size
+        self.largest_batch = max(self.largest_batch, size)
+        self._recent_batch_sizes.append(size)
 
     def amortization_ratio(self) -> float:
         """Actual wire bytes over standalone-priced bytes (<= 1).
@@ -146,13 +203,36 @@ class ServiceStats:
         return self.shared_network_bytes / self.attributed_network_bytes
 
     def mean_batch_size(self) -> float:
-        """Average executed batch size (0.0 before any traversal)."""
-        if not self.batch_sizes:
+        """Average executed batch size (0.0 before any traversal).
+
+        Exact over the service lifetime (sum/count aggregates, not the
+        bounded window).
+        """
+        if not self.batch_size_count:
             return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self.batch_size_sum / self.batch_size_count
+
+    def batch_size_quantile(self, q: float) -> float:
+        """Batch-size quantile over the recent window (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError("q must lie in [0, 1]")
+        if not self._recent_batch_sizes:
+            return 0.0
+        return float(np.quantile(list(self._recent_batch_sizes), q))
 
     def shard_breakdown(self) -> dict[int, dict[str, float]]:
-        """Per-shard cost partition (empty when unsharded)."""
+        """Per-shard cost partition (empty when unsharded).
+
+        Iterates the union of all three per-shard maps: a shard that
+        accrued attributed bytes or cpu-seconds but no shared bytes
+        (possible when its sub-cluster moved no wire traffic) still
+        appears instead of being silently dropped.
+        """
+        shards = (
+            set(self.shard_shared_bytes)
+            | set(self.shard_attributed_bytes)
+            | set(self.shard_cpu_seconds)
+        )
         return {
             shard: {
                 "shared_network_bytes": float(
@@ -163,16 +243,19 @@ class ServiceStats:
                 ),
                 "cpu_seconds": self.shard_cpu_seconds.get(shard, 0.0),
             }
-            for shard in sorted(self.shard_shared_bytes)
+            for shard in sorted(shards)
         }
 
     def as_dict(self) -> dict[str, float]:
         row = {
             "queries_served": float(self.queries_served),
             "queries_executed": float(self.queries_executed),
+            "queries_shed": float(self.queries_shed),
+            "queries_degraded": float(self.queries_degraded),
             "batches_run": float(self.batches_run),
             "largest_batch": float(self.largest_batch),
             "mean_batch_size": self.mean_batch_size(),
+            "batch_size_p95": self.batch_size_quantile(0.95),
             "frogs_launched": float(self.frogs_launched),
             "attributed_network_bytes": float(self.attributed_network_bytes),
             "shared_network_bytes": float(self.shared_network_bytes),
@@ -187,11 +270,19 @@ class ServiceStats:
 
 @dataclass(frozen=True)
 class _CacheEntry:
-    """Cached outcome of one executed query (estimate + its report)."""
+    """Cached outcome of one executed query (estimate + its report).
+
+    ``degrade_level``/``error_bound`` record whether the estimate was
+    computed under an admission-degraded config, so cache re-serves of
+    a degraded answer keep reporting the accuracy they actually
+    guarantee.
+    """
 
     estimate: object
     report: RunReport
     batch_size: int
+    degrade_level: int = 0
+    error_bound: float | None = None
 
 
 class RankingService:
@@ -259,6 +350,19 @@ class RankingService:
         backend ingested at construction, so re-executions price
         against that snapshot until the backend is refreshed
         (:class:`~repro.live.LiveRankingService` does exactly that).
+    admission:
+        Optional :class:`~repro.traffic.AdmissionController`.  When
+        set, every query that needs a *new* execution lane (cache hits
+        and coalesced duplicates are free and never ruled on) is
+        subject to its policy: past the queue bound the future fails
+        fast with a typed :class:`~repro.errors.OverloadError`; under
+        backlog the degradation ladder rewrites the query to a cheaper
+        config whose Theorem-1 error bound rides on the answer.
+    tracer:
+        Optional :class:`~repro.traffic.QueryTracer`.  When set, every
+        submitted query carries a per-query trace (enqueue → dispatch
+        → resolve, with cache/coalesce/degrade/shed provenance) and
+        the tracer folds them into streaming latency percentiles.
     """
 
     def __init__(
@@ -279,6 +383,8 @@ class RankingService:
         max_delay_s: float | None = None,
         generation: Callable[[], int] | None = None,
         kernel: str = "fused",
+        admission: "AdmissionController | None" = None,
+        tracer: "QueryTracer | None" = None,
     ) -> None:
         from ..dynamic import DynamicDiGraph
 
@@ -363,6 +469,16 @@ class RankingService:
             clock=self._clock,
         )
         self.stats = ServiceStats()
+        self.admission = admission
+        self.tracer = tracer
+        #: Calibration factor applied to a batch's simulated makespan
+        #: when stamping virtual-clock resolve times.  The cost model's
+        #: absolute seconds are arbitrary units; the traffic harness
+        #: sets this to place offered load relative to modeled capacity
+        #: (it uses the same factor for its busy-server gate, keeping
+        #: queueing delays and service times on one time base).  Leave
+        #: at 1.0 outside harness runs.
+        self.service_time_scale = 1.0
         # Guards the cache, the stats and the in-flight dedup table
         # against the scheduler thread; reentrant because a fill
         # dispatch executes inline under the submitting call.
@@ -370,6 +486,10 @@ class RankingService:
         self._inflight: dict[
             Hashable, list[tuple[RankingQuery, RankingFuture]]
         ] = {}
+        # Degrade provenance of still-in-flight keys: level and
+        # Theorem-1 bound, threaded into the cache entry at execution
+        # so re-serves keep reporting their accuracy.
+        self._degrade_info: dict[Hashable, tuple[int, float]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -414,6 +534,11 @@ class RankingService:
     def flush(self) -> int:
         """Dispatch everything pending, deadlines notwithstanding."""
         return self.scheduler.flush()
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        """The injectable time source this service runs on."""
+        return self._clock
 
     @property
     def replication(self):
@@ -539,26 +664,104 @@ class RankingService:
             return base
         return (int(self.generation()), base)
 
+    def _try_attach(
+        self,
+        key: Hashable,
+        query: RankingQuery,
+        future: RankingFuture,
+        now: float,
+    ) -> bool:
+        """Serve ``future`` from cache or join an in-flight lane.
+
+        Returns False when a new execution lane is needed.  Caller
+        holds the service lock.
+        """
+        trace = future.trace
+        entry = None if self.cache is None else self.cache.get(key)
+        if entry is not None:
+            # queries_served counts *answered* queries (a failed
+            # execution never inflates it), so it ticks at resolve
+            # time here and in _execute_batch.
+            self.stats.queries_served += 1
+            if trace is not None:
+                trace.status = "served"
+                trace.cached = True
+                trace.dispatch_s = now
+                trace.resolve_s = now
+                trace.batch_size = entry.batch_size
+                trace.supersteps = entry.report.supersteps
+                trace.frogs = entry.estimate.num_frogs
+                if entry.degrade_level and not trace.degrade_level:
+                    trace.degrade_level = entry.degrade_level
+                    trace.error_bound = entry.error_bound
+                self.tracer.complete(trace)
+            future._resolve(self._answer(query, entry, cached=True))
+            return True
+        waiters = self._inflight.get(key)
+        if waiters is not None:
+            # A duplicate of an already queued query: ride its lane.
+            if trace is not None:
+                trace.coalesced = True
+            waiters.append((query, future))
+            return True
+        return False
+
     def _submit_validated(
         self, query: RankingQuery
     ) -> tuple[RankingFuture, Hashable]:
         """Submit one validated query; returns (future, cache key)."""
         future = RankingFuture(query)
         with self._lock:
+            now = self._clock()
+            if self.tracer is not None:
+                future.trace = self.tracer.begin(query.seeds, query.k, now)
             key = self._cache_key(query)
-            entry = None if self.cache is None else self.cache.get(key)
-            if entry is not None:
-                # queries_served counts *answered* queries (a failed
-                # execution never inflates it), so it ticks at resolve
-                # time here and in _execute_batch.
-                self.stats.queries_served += 1
-                future._resolve(self._answer(query, entry, cached=True))
+            if self._try_attach(key, query, future, now):
                 return future, key
-            waiters = self._inflight.get(key)
-            if waiters is not None:
-                # A duplicate of an already queued query: ride its lane.
-                waiters.append((query, future))
-                return future, key
+            # A new execution lane is needed — the only point admission
+            # control rules on: cache hits and coalesced duplicates add
+            # no cluster load and are always served.
+            if self.admission is not None:
+                decision = self.admission.decide(
+                    self.scheduler.pending_count()
+                )
+                if decision.action == "shed":
+                    self.stats.queries_shed += 1
+                    if future.trace is not None:
+                        future.trace.status = "shed"
+                        future.trace.shed_depth = decision.depth
+                        future.trace.resolve_s = now
+                        self.tracer.complete(future.trace)
+                    future._fail(
+                        OverloadError(
+                            f"query shed: {decision.depth} pending >= "
+                            f"bound {decision.limit}",
+                            depth=decision.depth,
+                            limit=decision.limit,
+                        )
+                    )
+                    return future, key
+                if decision.action == "degrade":
+                    base = query.effective_config(self.default_config)
+                    degraded = self.admission.degraded_config(
+                        base, decision.level
+                    )
+                    if degraded is not base:
+                        bound = self.admission.error_bound(
+                            degraded, query.k, self.graph.num_vertices
+                        )
+                        query = replace(query, config=degraded)
+                        future.query = query
+                        key = self._cache_key(query)
+                        self.stats.queries_degraded += 1
+                        if future.trace is not None:
+                            future.trace.degrade_level = decision.level
+                            future.trace.error_bound = bound
+                        # The degraded variant may itself be cached or
+                        # already in flight under its own key.
+                        if self._try_attach(key, query, future, now):
+                            return future, key
+                        self._degrade_info[key] = (decision.level, bound)
             self._inflight[key] = [(query, future)]
             # Enqueue under the same lock that registered the in-flight
             # entry: a concurrent duplicate's flush must find either
@@ -576,6 +779,7 @@ class RankingService:
         """Scheduler dispatch target: run one config-pure batch."""
         queries = [entry.query for entry in entries]
         resolved: list[tuple[RankingQuery, RankingFuture, _CacheEntry]] = []
+        dispatch_now = self._clock()
         try:
             outcome = self.backend.run_batch(config, queries)
             if len(outcome.lanes) != len(queries):
@@ -584,13 +788,25 @@ class RankingService:
                     f"{len(queries)} queries; the ExecutionBackend "
                     "contract requires lanes[i] to answer queries[i]"
                 )
+            # Under a virtual clock the batch's simulated makespan IS
+            # its service time: answers resolve that much later, so
+            # traced latencies are simulated-cluster latencies.
+            resolve_now = (
+                dispatch_now
+                + outcome.simulated_time_s * self.service_time_scale
+                if isinstance(self._clock, VirtualClock)
+                else None
+            )
             with self._lock:
                 self._record_outcome(outcome, len(entries))
                 for entry, lane in zip(entries, outcome.lanes):
+                    info = self._degrade_info.pop(entry.payload, None)
                     cached = _CacheEntry(
                         estimate=lane.estimate,
                         report=lane.report,
                         batch_size=len(entries),
+                        degrade_level=0 if info is None else info[0],
+                        error_bound=None if info is None else info[1],
                     )
                     self.stats.frogs_launched += lane.estimate.num_frogs
                     self.stats.attributed_network_bytes += (
@@ -615,21 +831,47 @@ class RankingService:
                         entry.payload, []
                     )
                 ]
-            for query, future, _ in resolved:
+                for entry in entries:
+                    self._degrade_info.pop(entry.payload, None)
+            failed_at = self._clock()
+            for _, future, _ in resolved:
+                self._trace_failed(future, failed_at)
                 future._fail(error)
             for _, future in waiters:
+                self._trace_failed(future, failed_at)
                 future._fail(error)
             raise
         with self._lock:
             self.stats.queries_served += len(resolved)
         for query, future, cached in resolved:
+            trace = future.trace
+            if self.tracer is not None and trace is not None:
+                trace.status = "served"
+                trace.dispatch_s = dispatch_now
+                trace.resolve_s = (
+                    self._clock() if resolve_now is None else resolve_now
+                )
+                trace.batch_size = cached.batch_size
+                trace.supersteps = cached.report.supersteps
+                trace.frogs = cached.estimate.num_frogs
+                if cached.degrade_level and not trace.degrade_level:
+                    trace.degrade_level = cached.degrade_level
+                    trace.error_bound = cached.error_bound
+                self.tracer.complete(trace)
             future._resolve(self._answer(query, cached, cached=False))
+
+    def _trace_failed(self, future: RankingFuture, now: float) -> None:
+        trace = future.trace
+        if self.tracer is None or trace is None:
+            return
+        trace.status = "failed"
+        trace.resolve_s = now
+        self.tracer.complete(trace)
 
     def _record_outcome(self, outcome: BatchOutcome, batch_size: int) -> None:
         stats = self.stats
         stats.batches_run += 1
-        stats.batch_sizes.append(batch_size)
-        stats.largest_batch = max(stats.largest_batch, batch_size)
+        stats.record_batch_size(batch_size)
         stats.queries_executed += batch_size
         stats.shared_network_bytes += outcome.shared_network_bytes
         stats.simulated_time_s += outcome.simulated_time_s
@@ -651,6 +893,16 @@ class RankingService:
         self, query: RankingQuery, entry: _CacheEntry, cached: bool
     ) -> RankingAnswer:
         vertices, scores = entry.estimate.top_k_with_scores(query.k)
+        error_bound = entry.error_bound
+        if entry.degrade_level and self.admission is not None:
+            # Recompute for *this* query's k: the cached bound was
+            # computed for the executing query's k, and the sampling
+            # term of Theorem 1 scales with sqrt(k).
+            error_bound = self.admission.error_bound(
+                query.effective_config(self.default_config),
+                query.k,
+                self.graph.num_vertices,
+            )
         return RankingAnswer(
             query=query,
             vertices=vertices,
@@ -658,4 +910,6 @@ class RankingService:
             cached=cached,
             batch_size=entry.batch_size,
             report=entry.report,
+            degrade_level=entry.degrade_level,
+            error_bound=error_bound,
         )

@@ -1,0 +1,66 @@
+"""Traffic: open-loop load generation, admission control, degraded modes.
+
+The serving stack (:mod:`repro.serving`) answers *how* a query is
+executed cheaply — cache, coalesce, batch, shard.  This package
+answers what happens when **more queries arrive than the cluster can
+execute**, which is where FrogWild's accuracy-for-cost knob becomes an
+operational lever rather than a benchmark curiosity:
+
+* :mod:`~repro.traffic.arrivals` / :mod:`~repro.traffic.workload` —
+  open-loop arrival processes (Poisson, diurnal, flash-crowd burst)
+  over a Zipf-popular user population, deterministic per seed;
+* :mod:`~repro.traffic.admission` — a bounded pending queue with
+  typed shedding (:class:`~repro.errors.OverloadError`) and a
+  backlog-triggered :class:`DegradationLadder` that shrinks frog
+  budgets / early-stops supersteps, each degraded answer carrying the
+  Theorem-1 error bound it implies (:mod:`repro.theory.bounds`);
+* :mod:`~repro.traffic.trace` / :mod:`~repro.traffic.report` —
+  per-query traces (enqueue → dispatch → resolve, with degrade
+  decisions) folded into streaming p50/p95/p99 latency, shed-rate and
+  batch-occupancy summaries that land in ``BENCH_serving.json``;
+* :mod:`~repro.traffic.harness` — the drivers: a deterministic
+  virtual-time single-server queue (tests, CI) and a wall-clock
+  threaded replay (demos).
+
+Exercised by ``benchmarks/bench_traffic.py``, the ``repro
+traffic-bench`` CLI command and the CI ``traffic`` lane.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+    DegradationLadder,
+    DegradeRung,
+)
+from .arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from .harness import TrafficHarness, TrafficRunResult
+from .report import TrafficReport
+from .trace import QueryTrace, QueryTracer, StreamingReservoir
+from .workload import QueryEvent, TrafficWorkload, UserPopulation
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstArrivals",
+    "UserPopulation",
+    "QueryEvent",
+    "TrafficWorkload",
+    "DegradeRung",
+    "DegradationLadder",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "AdmissionController",
+    "StreamingReservoir",
+    "QueryTrace",
+    "QueryTracer",
+    "TrafficReport",
+    "TrafficHarness",
+    "TrafficRunResult",
+]
