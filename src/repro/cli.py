@@ -30,6 +30,12 @@ Subcommands
     against the service on a virtual clock, once without and once with
     admission control, and report queue depth, shed/degrade rates,
     latency quantiles and the error bounds degraded answers carry.
+``chaos-bench``
+    Drive live traffic against a *real* multi-process pool while a
+    chaos schedule SIGKILLs a shard worker mid-batch, and report
+    recovery time, partial-answer rate, the widened error bounds
+    partial answers carry, post-recovery bitwise equivalence and
+    shared-memory hygiene.
 """
 
 from __future__ import annotations
@@ -346,6 +352,49 @@ def build_parser() -> argparse.ArgumentParser:
              "(ignores other scenario flags; what the CI lane runs)",
     )
     traffic.add_argument(
+        "--save-json", metavar="PATH",
+        help="merge a machine-readable perf record into this JSON file "
+             "(default name BENCH_serving.json)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos-bench",
+        help="drive live traffic against a real process pool while "
+             "killing shard workers, and measure recovery time, "
+             "partial-answer rate and accuracy against a healthy pool",
+    )
+    chaos.add_argument("--n", type=int, default=400,
+                       help="vertices of the twitter-like graph")
+    chaos.add_argument("--users", type=int, default=64,
+                       help="Zipf-popular user population size")
+    chaos.add_argument("--seeds-per-user", type=int, default=2)
+    chaos.add_argument("--frogs", type=int, default=2_000)
+    chaos.add_argument("--iterations", type=int, default=3)
+    chaos.add_argument("--machines", type=int, default=8)
+    chaos.add_argument("--shards", type=int, default=4,
+                       help="worker processes in the pool")
+    chaos.add_argument("--batch-size", type=int, default=4)
+    chaos.add_argument("--max-delay-ms", type=float, default=20.0)
+    chaos.add_argument("--qps", type=float, default=40.0,
+                       help="Poisson arrival rate of the load")
+    chaos.add_argument("--duration-s", type=float, default=3.0)
+    chaos.add_argument("--timeout-s", type=float, default=15.0,
+                       help="pool's per-operation worker deadline")
+    chaos.add_argument("--kill-shard", type=int, default=1,
+                       help="victim shard whose worker gets SIGKILL'd")
+    chaos.add_argument(
+        "--kill-at-s", type=float, default=1.0,
+        help="when the SIGKILL lands; a reply-delay is injected 0.5 s "
+             "earlier so the kill deterministically hits mid-batch",
+    )
+    chaos.add_argument("--top-k", type=int, default=10)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="pin every knob to the deterministic acceptance scenario "
+             "(ignores other scenario flags; what the CI lane runs)",
+    )
+    chaos.add_argument(
         "--save-json", metavar="PATH",
         help="merge a machine-readable perf record into this JSON file "
              "(default name BENCH_serving.json)",
@@ -1152,6 +1201,216 @@ def _cmd_traffic_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos_bench(args) -> int:
+    import math
+
+    from .cluster import SharedArena
+    from .graph.generators import twitter_like
+    from .serving import ProcessPoolBackend, RankingQuery, RankingService
+    from .theory.bounds import config_error_bound
+    from .traffic import (
+        ChaosEvent,
+        ChaosInjector,
+        ChaosSchedule,
+        PoissonArrivals,
+        TrafficHarness,
+        TrafficWorkload,
+        UserPopulation,
+    )
+
+    if args.smoke:
+        # The deterministic acceptance scenario the CI chaos lane pins:
+        # steady Poisson load on a 4-worker pool, one SIGKILL landing
+        # mid-batch on shard 1.
+        for name, value in (
+            ("n", 400), ("users", 64), ("seeds_per_user", 2),
+            ("frogs", 2_000), ("iterations", 3), ("machines", 8),
+            ("shards", 4), ("batch_size", 4), ("max_delay_ms", 20.0),
+            ("qps", 40.0), ("duration_s", 3.0), ("timeout_s", 15.0),
+            ("kill_shard", 1), ("kill_at_s", 1.0), ("top_k", 10),
+            ("seed", 0),
+        ):
+            setattr(args, name, value)
+    if not 0 <= args.kill_shard < args.shards:
+        raise SystemExit(
+            f"--kill-shard must name one of the {args.shards} shards"
+        )
+
+    graph = twitter_like(n=args.n, seed=7)
+    config = FrogWildConfig(
+        num_frogs=args.frogs, iterations=args.iterations, seed=args.seed
+    )
+    pool = ProcessPoolBackend(
+        graph,
+        num_shards=args.shards,
+        num_machines=args.machines,
+        seed=args.seed,
+        timeout_s=args.timeout_s,
+        on_shard_failure="partial",
+    )
+    # cache_capacity=0: every ask re-executes, so the post-recovery
+    # probe measures the healed pool, not a cache line.
+    service = RankingService(
+        graph,
+        config,
+        num_machines=args.machines,
+        max_batch_size=args.batch_size,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        cache_capacity=0,
+        seed=args.seed,
+        backend=pool,
+    )
+    probes = [
+        RankingQuery(seeds=(2 * i, 2 * i + 1), k=args.top_k)
+        for i in range(min(args.batch_size, 4))
+    ]
+    leaked = -1
+    try:
+        service.start()
+        golden = service.query_batch(probes)
+        healthy_bound = config_error_bound(
+            config, args.top_k, graph.num_vertices
+        )
+
+        population = UserPopulation(
+            num_users=args.users,
+            num_vertices=graph.num_vertices,
+            seeds_per_user=args.seeds_per_user,
+            k=args.top_k,
+            seed=1,
+        )
+        workload = TrafficWorkload(
+            population, PoissonArrivals(rate_qps=args.qps, seed=2), seed=3
+        )
+        # The delay parks the victim's *next* batch reply for longer
+        # than the window to the kill, so the SIGKILL deterministically
+        # lands mid-batch (work computed, reply withheld).
+        schedule = ChaosSchedule(
+            events=(
+                ChaosEvent(
+                    time_s=max(0.0, args.kill_at_s - 0.5),
+                    kind="delay",
+                    shard=args.kill_shard,
+                    duration_s=args.timeout_s / 2.0,
+                ),
+                ChaosEvent(
+                    time_s=args.kill_at_s,
+                    kind="kill",
+                    shard=args.kill_shard,
+                ),
+            )
+        )
+        injector = ChaosInjector(service, schedule)
+        harness = TrafficHarness(service, workload)
+        result = harness.run_threaded(
+            args.duration_s,
+            chaos=injector,
+            result_timeout_s=max(60.0, 4 * args.timeout_s),
+        )
+
+        answers = result.answers()
+        partial = [a for a in answers if a.partial]
+        partial_with_bound = [
+            a
+            for a in partial
+            if a.error_bound is not None and math.isfinite(a.error_bound)
+        ]
+        kill_elapsed = next(
+            (t for t, e in result.chaos_fired if e.kind == "kill"), None
+        )
+        supervisor = pool.supervisor
+        recovery_s = float("nan")
+        if kill_elapsed is not None and supervisor.stats.respawn_log:
+            kill_abs = (injector._start or 0.0) + kill_elapsed
+            after = [
+                stamp
+                for stamp, _, _ in supervisor.stats.respawn_log
+                if stamp >= kill_abs
+            ]
+            if after:
+                recovery_s = after[0] - kill_abs
+
+        # Let any straggling revival finish, then probe: the healed
+        # pool must answer bitwise identically to the never-crashed
+        # golden run (same shares, same per-shard seeds).
+        supervisor.check()
+        healed = service.query_batch(probes)
+        post_recovery_bitwise = float(
+            all(
+                list(h.vertices) == list(g.vertices)
+                and list(h.scores) == list(g.scores)
+                and not h.partial
+                for h, g in zip(healed, golden)
+            )
+        )
+
+        # Accuracy of the partial answers against a healthy re-run of
+        # the same queries (top-k overlap); capped to bound runtime.
+        overlaps = []
+        for answer in partial[:8]:
+            healthy = service.query_batch([answer.query])[0]
+            got = set(int(v) for v in answer.vertices)
+            want = set(int(v) for v in healthy.vertices)
+            overlaps.append(len(got & want) / max(1, len(want)))
+        mean_overlap = (
+            sum(overlaps) / len(overlaps) if overlaps else float("nan")
+        )
+        max_partial_bound = max(
+            (a.error_bound for a in partial_with_bound), default=float("nan")
+        )
+        prefix = pool.arena_prefix
+    finally:
+        service.close()
+        pool.close()
+    leaked = len(SharedArena.list_segments(prefix))
+
+    print(
+        f"chaos run: {result.report.arrivals} arrivals over "
+        f"{args.duration_s:g}s, SIGKILL on shard {args.kill_shard} at "
+        f"t={args.kill_at_s:g}s"
+    )
+    print(f"  answers served          : {len(answers)}")
+    print(f"  partial answers         : {len(partial)} "
+          f"(with finite bound: {len(partial_with_bound)})")
+    print(f"  healthy error bound     : {healthy_bound:.4f}")
+    print(f"  max partial error bound : {max_partial_bound:.4f}")
+    print(f"  partial top-k overlap   : {mean_overlap:.3f} "
+          f"(vs healthy re-run, k={args.top_k})")
+    print(f"  recovery time           : {recovery_s:.3f}s "
+          f"(kill -> worker re-attached)")
+    print(f"  crashes/respawns        : "
+          f"{supervisor.stats.crashes_detected}/"
+          f"{supervisor.stats.respawns}")
+    print(f"  post-recovery bitwise   : {post_recovery_bitwise == 1.0}")
+    print(f"  leaked shm segments     : {leaked}")
+    if args.save_json:
+        from .experiments import record_perf
+
+        path = record_perf(
+            "chaos-bench",
+            {
+                "arrivals": result.report.arrivals,
+                "duration_s": args.duration_s,
+                "kill_shard": args.kill_shard,
+                "kill_at_s": args.kill_at_s,
+                "answers": len(answers),
+                "partial": len(partial),
+                "partial_with_bound": len(partial_with_bound),
+                "healthy_bound": healthy_bound,
+                "max_partial_bound": max_partial_bound,
+                "partial_topk_overlap": mean_overlap,
+                "recovery_s": recovery_s,
+                "crashes_detected": supervisor.stats.crashes_detected,
+                "respawns": supervisor.stats.respawns,
+                "post_recovery_bitwise": post_recovery_bitwise,
+                "leaked_segments": leaked,
+            },
+            path=args.save_json,
+        )
+        print(f"perf record merged into {path}")
+    return 0
+
+
 def _cmd_chart(args) -> int:
     from .experiments import load_figure_json
     from .viz import figure_chart
@@ -1183,6 +1442,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "live-bench": _cmd_live_bench,
     "traffic-bench": _cmd_traffic_bench,
+    "chaos-bench": _cmd_chaos_bench,
     "chart": _cmd_chart,
 }
 

@@ -31,6 +31,7 @@ against the single epoch it was dispatched under.
 
 from __future__ import annotations
 
+import os
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -40,6 +41,17 @@ import numpy as np
 from ..errors import ConfigError
 
 __all__ = ["ArenaSpec", "SharedArena"]
+
+#: Default segment-name prefix.  Owners that need a sweepable
+#: namespace (one they can enumerate and garbage-collect after a
+#: worker crash) pass their own prefix to :meth:`SharedArena.create`
+#: and hand it to :meth:`SharedArena.sweep_orphans`.
+DEFAULT_PREFIX = "repro-arena"
+
+#: Where named POSIX shared-memory segments appear as files (Linux).
+#: On platforms without it the sweep helpers degrade to no-ops — the
+#: resource tracker remains the backstop there.
+_SHM_DIR = "/dev/shm"
 
 _ALIGN = 8
 
@@ -122,8 +134,16 @@ class SharedArena:
         arrays: dict[str, np.ndarray],
         epoch: int = 0,
         name: str | None = None,
+        prefix: str = DEFAULT_PREFIX,
     ) -> "SharedArena":
-        """Allocate a segment and copy ``arrays`` in (owner side)."""
+        """Allocate a segment and copy ``arrays`` in (owner side).
+
+        ``prefix`` namespaces the generated segment name
+        (``{prefix}-{epoch}-{random}``): a backend that creates all its
+        arenas under one per-instance prefix can later enumerate and
+        sweep exactly its own segments (:meth:`sweep_orphans`) without
+        touching arenas owned by other pools in the same host.
+        """
         if not arrays:
             raise ConfigError("an arena needs at least one array")
         entries: list[tuple[str, str, tuple[int, ...], int]] = []
@@ -135,7 +155,7 @@ class SharedArena:
             offset += array.nbytes
         size = max(offset, 1)
         if name is None:
-            name = f"repro-arena-{epoch}-{secrets.token_hex(4)}"
+            name = f"{prefix}-{epoch}-{secrets.token_hex(4)}"
         segment = shared_memory.SharedMemory(
             name=name, create=True, size=size
         )
@@ -221,3 +241,54 @@ class SharedArena:
 
     def __exit__(self, *exc) -> None:
         self.destroy() if self.owner else self.close()
+
+    # ------------------------------------------------------------------
+    # Orphan accounting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def list_segments(prefix: str) -> list[str]:
+        """Names of live shared-memory segments under ``prefix``.
+
+        Reads the kernel's shm directory, so the answer reflects what
+        actually exists — including segments whose owning process died
+        without unlinking.  Returns an empty list on platforms without
+        a browsable shm filesystem.
+        """
+        if not prefix:
+            raise ConfigError("list_segments needs a non-empty prefix")
+        if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+            return []
+        wanted = prefix + "-"
+        return sorted(
+            entry
+            for entry in os.listdir(_SHM_DIR)
+            if entry.startswith(wanted)
+        )
+
+    @staticmethod
+    def sweep_orphans(
+        prefix: str, live: frozenset[str] | set[str] = frozenset()
+    ) -> list[str]:
+        """Unlink leaked segments under ``prefix``; returns their names.
+
+        A crashed owner (or a worker killed mid-attach) can leave named
+        segments behind with nobody holding a handle.  This sweep
+        unlinks every ``prefix``-named segment whose name is not in
+        ``live`` — the set of segments the caller still owns — and is
+        idempotent: segments already gone are skipped silently, so it
+        is safe to call from ``close()``, from supervisor respawns and
+        from overlapping cleanup paths.  No-op where the shm
+        filesystem is not browsable.
+        """
+        swept: list[str] = []
+        for name in SharedArena.list_segments(prefix):
+            if name in live:
+                continue
+            try:
+                os.unlink(os.path.join(_SHM_DIR, name))
+            except FileNotFoundError:
+                continue
+            except OSError:  # pragma: no cover - permissions race
+                continue
+            swept.append(name)
+        return swept

@@ -8,9 +8,10 @@ the failures that force synchronous PageRank to checkpoint or restart.
 from .checkpoint import CheckpointConfig, CheckpointedFrogWildRunner
 from .costmodel import StragglerCostModel
 from .runner import FaultLog, FaultyFrogWildRunner, run_frogwild_with_faults
-from .schedule import FaultSchedule, MachineCrash, MessageDrop
+from .schedule import FAULT_KINDS, FaultSchedule, MachineCrash, MessageDrop
 
 __all__ = [
+    "FAULT_KINDS",
     "MachineCrash",
     "MessageDrop",
     "FaultSchedule",

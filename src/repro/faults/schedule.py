@@ -21,7 +21,20 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 
-__all__ = ["MachineCrash", "MessageDrop", "FaultSchedule"]
+__all__ = ["FAULT_KINDS", "MachineCrash", "MessageDrop", "FaultSchedule"]
+
+#: The one fault vocabulary shared by the *simulated* layer (this
+#: module, interpreted by ``run_frogwild_with_faults``) and the *real*
+#: layer (:class:`repro.traffic.ChaosSchedule`, which kills actual OS
+#: worker processes).  ``kill`` — a machine/worker dies outright;
+#: ``hang`` — it goes silent for a while (simulated only as a cost
+#: phenomenon, see :class:`~repro.faults.StragglerCostModel`);
+#: ``delay`` — its replies stall (latency-only); ``drop`` — individual
+#: deliveries are lost.  Every simulated event maps into this taxonomy
+#: via its ``chaos_kind`` property, which is what lets
+#: ``ChaosSchedule.from_fault_schedule`` replay a simulated scenario
+#: against real processes and vice versa.
+FAULT_KINDS = ("kill", "hang", "delay", "drop")
 
 
 @dataclass(frozen=True)
@@ -52,12 +65,22 @@ class MachineCrash:
         if self.machine < 0:
             raise ConfigError("machine id must be non-negative")
 
+    @property
+    def chaos_kind(self) -> str:
+        """This event's name in the shared :data:`FAULT_KINDS` taxonomy."""
+        return "kill"
+
 
 @dataclass(frozen=True)
 class MessageDrop:
     """Independent per-delivery loss on machine-crossing frog records."""
 
     probability: float
+
+    @property
+    def chaos_kind(self) -> str:
+        """This event's name in the shared :data:`FAULT_KINDS` taxonomy."""
+        return "drop"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:

@@ -72,6 +72,10 @@ class EpochManager:
         #: Batches and queries executed per epoch sequence number.
         self.batches_per_epoch: dict[int, int] = {}
         self.queries_per_epoch: dict[int, int] = {}
+        #: Batches answered from a partial shard merge (fail-soft
+        #: process pools under ``on_shard_failure="partial"``), per
+        #: epoch sequence number.
+        self.partial_batches_per_epoch: dict[int, int] = {}
         self._inflight_batches = 0
         #: Publishes that landed while at least one batch was pinned to
         #: the previous epoch — the exact situation the swap-only
@@ -149,9 +153,18 @@ class EpochManager:
         finally:
             with self._lock:
                 self._inflight_batches -= 1
+        degraded = tuple(getattr(outcome, "degraded_shards", ()) or ())
         for lane in outcome.lanes:
             lane.report.extra["epoch"] = float(epoch.epoch_id)
             lane.report.extra["epoch_sequence"] = float(epoch.sequence)
+            if degraded:
+                # Fail-soft partial merge: record how many shards this
+                # lane's answer is missing, next to the epoch it ran on
+                # — provenance for degraded answers survives caching
+                # exactly like epoch provenance does.
+                lane.report.extra["degraded_shards"] = float(
+                    len(degraded)
+                )
         with self._lock:
             self.batches_per_epoch[epoch.sequence] = (
                 self.batches_per_epoch.get(epoch.sequence, 0) + 1
@@ -159,6 +172,11 @@ class EpochManager:
             self.queries_per_epoch[epoch.sequence] = (
                 self.queries_per_epoch.get(epoch.sequence, 0) + len(queries)
             )
+            if degraded:
+                self.partial_batches_per_epoch[epoch.sequence] = (
+                    self.partial_batches_per_epoch.get(epoch.sequence, 0)
+                    + 1
+                )
         return outcome
 
     def close(self) -> None:

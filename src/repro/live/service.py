@@ -134,6 +134,15 @@ class LiveRankingService(RankingService):
         worker process attaches them, and only then is the previous
         epoch's memory retired.  Use :meth:`close` to tear the workers
         down.
+    on_shard_failure:
+        Fail-soft policy for ``execution="process"`` (``"fail"``,
+        ``"partial"`` or ``"retry"``; see
+        :class:`~repro.serving.ProcessPoolBackend`).  Under
+        ``"partial"`` a batch that loses a worker mid-flight still
+        answers from the surviving shards, the epoch's lane reports
+        carry a ``degraded_shards`` stamp, and the supervisor respawns
+        the worker against the *current* epoch's arenas.  Ignored for
+        simulated execution.
     """
 
     def __init__(
@@ -153,12 +162,19 @@ class LiveRankingService(RankingService):
         rebalance_threshold: float | None = 2.0,
         refresh_policy: RefreshPolicy | None = None,
         execution: str = "simulated",
+        on_shard_failure: str = "fail",
     ) -> None:
         if execution not in ("simulated", "process"):
             raise ConfigError(
                 f"unknown execution mode {execution!r}: expected "
                 "'simulated' or 'process'"
             )
+        if on_shard_failure not in ("fail", "partial", "retry"):
+            raise ConfigError(
+                f"unknown on_shard_failure {on_shard_failure!r}: "
+                "expected 'fail', 'partial' or 'retry'"
+            )
+        self.on_shard_failure = on_shard_failure
         if not isinstance(graph, DynamicDiGraph):
             graph = DynamicDiGraph.from_digraph(graph)
         self.source = graph
@@ -292,6 +308,7 @@ class LiveRankingService(RankingService):
                     size_model=self._size_model,
                     seed=self._seed,
                     replications=tables,
+                    on_shard_failure=self.on_shard_failure,
                 )
             else:
                 # Epoch-tagged remap: workers attach the new arenas

@@ -31,7 +31,11 @@ cluster, :class:`ShardedBackend` shard fan-out with exact cost
 partitioning), :mod:`~repro.serving.process_backend`
 (:class:`ProcessPoolBackend`: the same shard fan-out on one OS process
 per shard over shared-memory graph state, for real multi-core
-scale-out), :mod:`~repro.serving.scheduler` (fill-or-deadline
+scale-out), :mod:`~repro.serving.supervisor`
+(:class:`WorkerSupervisor`: liveness heartbeats, crash respawn and
+shared-memory hygiene behind the pool's fail-soft
+``on_shard_failure`` policies), :mod:`~repro.serving.scheduler`
+(fill-or-deadline
 :class:`BatchScheduler`, virtual-clock or background-thread driven),
 :mod:`~repro.serving.service` (the :class:`RankingService` façade
 tying cache → coalescer → scheduler → backend together, with per-query
@@ -55,6 +59,7 @@ from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import CacheStats, TTLCache
 from .process_backend import ProcessPoolBackend
 from .scheduler import BatchScheduler, SchedulerStats, VirtualClock
+from .supervisor import SupervisorStats, WorkerSupervisor
 from .service import (
     RankingAnswer,
     RankingFuture,
@@ -75,6 +80,8 @@ __all__ = [
     "LocalBackend",
     "ShardedBackend",
     "ProcessPoolBackend",
+    "WorkerSupervisor",
+    "SupervisorStats",
     "choose_num_shards",
     "BatchScheduler",
     "SchedulerStats",

@@ -137,12 +137,23 @@ class BatchOutcome:
     cluster (the slowest shard when sharded, since shards run
     concurrently); ``shards`` carries the per-shard cost breakdown and
     is empty for single-cluster execution.
+
+    ``degraded_shards`` names the shards whose frog slice was *lost*
+    to a worker crash under a fail-soft backend's ``"partial"`` policy
+    (empty for healthy batches and for backends that cannot lose
+    shards); ``lost_frogs`` is the frog budget those shards would have
+    run.  The lanes of a degraded batch are still exact merges of the
+    surviving shards — their estimates' ``num_frogs`` already reflect
+    the smaller population, which is what widens the reported
+    Theorem-1 bound downstream.
     """
 
     lanes: tuple[QueryOutcome, ...]
     shared_network_bytes: int
     simulated_time_s: float
     shards: tuple[ShardCost, ...] = ()
+    degraded_shards: tuple[int, ...] = ()
+    lost_frogs: int = 0
 
 
 @runtime_checkable

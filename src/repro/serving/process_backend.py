@@ -39,24 +39,63 @@ Worker protocol (control pipe, pickled tuples):
 parent sends    ``("attach", epoch, graph_spec, table_spec)``,
                 ``("detach", epoch)``, ``("run", task, epoch, config,
                 share, shard_seed, queries)``, ``("patch", task,
-                epoch, snapshot_spec, seed)``, ``("stop",)``
+                epoch, snapshot_spec, seed)``, ``("ping", nonce)``,
+                ``("chaos", kind, seconds)``, ``("stop",)``
 worker replies  ``("attached", epoch)``, ``("detached", epoch)``,
                 ``("result", task, payload)``, ``("error", task,
-                repr, traceback)``, ``("stopped",)``
+                repr, traceback)``, ``("pong", nonce)``,
+                ``("stopped",)``
 ==============  =====================================================
 
 Per-lane counter records flow on the data channel tagged with the task
 id; the parent drains data and control concurrently (a worker blocked
 on a full data pipe must never deadlock against a parent blocked on
-the control pipe).
+the control pipe).  ``ping``/``pong`` is the
+:class:`~repro.serving.WorkerSupervisor` heartbeat; ``chaos`` is the
+fault-injection hook (:mod:`repro.traffic.chaos`): ``("chaos",
+"hang", s)`` parks the worker's control loop for ``s`` seconds and
+``("chaos", "delay", s)`` stalls its *next* batch reply — both
+fire-and-forget, so the parent observes exactly what a silent or
+mid-batch-dead worker looks like.
+
+**Fail-soft execution.**  The paper's robustness claim — frogs are
+anonymous and uniformly born, so losing a machine's walkers costs
+~1/M accuracy, not a restart — holds on this real substrate too: a
+shard's slice of a batch is just an independent sample of the frog
+population.  When a worker dies (or times out) mid-batch,
+``on_shard_failure`` picks the policy:
+
+* ``"fail"`` (default) — the batch raises a typed
+  :class:`~repro.errors.ShardFailure`, but only *after* the pool is
+  restored (dead worker respawned and re-attached), so the next batch
+  runs healthy;
+* ``"partial"`` — the surviving shards' lanes merge through the
+  normal exact path; the estimator automatically rescales to the
+  surviving frog count (:meth:`~repro.core.PageRankEstimate.merge`
+  sums ``num_frogs``), and the outcome carries ``degraded_shards`` /
+  ``lost_frogs`` so the service can attach the widened Theorem-1
+  bound;
+* ``"retry"`` — the respawned worker re-runs the lost slice (same
+  share, same per-shard seed, so a successful retry is bitwise
+  identical to a never-crashed batch), with exponential backoff and a
+  per-batch ``retry_budget``; exhausted budgets fall back to partial
+  merging when survivors exist.
+
+A worker found dead at *dispatch* (before its slice started) is
+respawned and re-sent once for free under every policy — no frogs
+were lost yet.  Liveness between batches is the
+:class:`~repro.serving.WorkerSupervisor`'s job (``ping`` heartbeats,
+respawn with backoff, orphaned-segment sweeps).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import secrets
 import threading
 import time
 import traceback
+from collections import deque
 from typing import Sequence
 
 import numpy as np
@@ -80,10 +119,11 @@ from ..core import (
 )
 from ..core.frogwild import FrogWildResult, prime_ingress_caches
 from ..engine import build_cluster
-from ..errors import ConfigError, EngineError
+from ..errors import ConfigError, EngineError, ShardFailure, WorkerCrashError
 from ..graph import DiGraph
 from .backend import BatchOutcome, QueryOutcome, ShardCost, ShardedBackend
 from .batching import RankingQuery
+from .supervisor import WorkerSupervisor
 
 __all__ = ["ProcessPoolBackend"]
 
@@ -105,6 +145,8 @@ def _worker_main(
     # for integer seeds, so one draw serves every patch this worker
     # ever computes — the same cache IncrementalReplication keeps.
     noise_cache: dict[tuple[int, int, int], np.ndarray] = {}
+    # One-shot chaos injection: stall the next batch reply this long.
+    reply_delay_s = 0.0
     while True:
         try:
             message = control.recv()
@@ -168,6 +210,13 @@ def _worker_main(
                     state=state,
                     kernel=kernel,
                 )
+                if reply_delay_s > 0.0:
+                    # Injected chaos: the slice is computed but nothing
+                    # ships yet — from the parent's view this worker is
+                    # mid-batch and silent, the deterministic window
+                    # for landing a SIGKILL mid-flight.
+                    time.sleep(reply_delay_s)
+                    reply_delay_s = 0.0
                 lanes = []
                 for lane in result.results:
                     counts = lane.estimate.counts
@@ -237,6 +286,17 @@ def _worker_main(
                     )
                 finally:
                     snapshot_arena.close()
+            elif op == "ping":
+                # Supervisor heartbeat: echo the nonce so the parent
+                # can tell a live loop from a buffered stale reply.
+                control.send(("pong",) + tuple(message[1:]))
+            elif op == "chaos":
+                # Fault injection (fire-and-forget, test/bench only).
+                _, kind, seconds = message
+                if kind == "hang":
+                    time.sleep(float(seconds))
+                elif kind == "delay":
+                    reply_delay_s = float(seconds)
             elif op == "stop":
                 for _, _, arenas in epochs.values():
                     for arena in arenas:
@@ -294,13 +354,39 @@ class ProcessPoolBackend(ShardedBackend):
         (instant start, Linux) and falls back to the platform default.
         The worker entry point is spawn-safe either way.
     ``timeout_s``
-        Per-operation ceiling on worker replies; a silent worker
-        raises :class:`~repro.errors.EngineError` instead of hanging
-        the service.
+        Per-operation ceiling on worker replies; a silent worker is
+        treated exactly like a dead one
+        (:class:`~repro.errors.WorkerCrashError` internally, policy
+        below externally).
+    ``on_shard_failure``
+        What a batch does when a worker dies or times out mid-flight:
+        ``"fail"`` (default) raises a typed
+        :class:`~repro.errors.ShardFailure` *after* restoring the
+        pool; ``"partial"`` merges the surviving shards and annotates
+        the outcome (``degraded_shards``/``lost_frogs``) so answers
+        carry a widened Theorem-1 bound; ``"retry"`` re-runs the lost
+        slice on the respawned worker (bitwise identical on success —
+        same share, same per-shard seed).
+    ``retry_budget`` / ``retry_backoff_s``
+        Retry policy: at most ``retry_budget`` re-runs per shard per
+        batch, sleeping ``retry_backoff_s * 2**attempt`` between
+        them; an exhausted budget falls back to partial merging when
+        survivors exist.
+    ``heartbeat_s``
+        When set, the attached :class:`~repro.serving.WorkerSupervisor`
+        runs background liveness checks every ``heartbeat_s`` seconds
+        (ping/pong on the control pipes), respawning dead workers
+        *between* batches instead of on the next batch's critical
+        path.  ``None`` (default) leaves the supervisor passive — it
+        still handles in-batch revivals and explicit
+        ``supervisor.check()`` calls.
 
     Use :meth:`close` (or a ``with`` block) to tear down workers and
-    unlink the shared segments; segments leaked by a crash are
-    reclaimed by the ``resource_tracker`` at interpreter exit.
+    unlink the shared segments.  All of this pool's segments live
+    under a random per-instance name prefix (``arena_prefix``), so
+    ``close`` — and every supervisor respawn — can sweep segments
+    orphaned by crashed workers without touching other pools
+    (:meth:`~repro.cluster.SharedArena.sweep_orphans`).
     """
 
     def __init__(
@@ -318,6 +404,10 @@ class ProcessPoolBackend(ShardedBackend):
         kernel: str = "fused",
         start_method: str | None = None,
         timeout_s: float = 120.0,
+        on_shard_failure: str = "fail",
+        retry_budget: int = 2,
+        retry_backoff_s: float = 0.05,
+        heartbeat_s: float | None = None,
     ) -> None:
         super().__init__(
             graph,
@@ -332,7 +422,19 @@ class ProcessPoolBackend(ShardedBackend):
             replications=replications,
             kernel=kernel,
         )
+        if on_shard_failure not in ("fail", "partial", "retry"):
+            raise ConfigError(
+                f"unknown on_shard_failure {on_shard_failure!r}: "
+                "expected 'fail', 'partial' or 'retry'"
+            )
+        if retry_budget < 0:
+            raise ConfigError("retry_budget must be non-negative")
+        if retry_backoff_s < 0:
+            raise ConfigError("retry_backoff_s must be non-negative")
         self.timeout_s = timeout_s
+        self.on_shard_failure = on_shard_failure
+        self.retry_budget = retry_budget
+        self.retry_backoff_s = retry_backoff_s
         if start_method is None:
             start_method = (
                 "fork"
@@ -346,6 +448,10 @@ class ProcessPoolBackend(ShardedBackend):
         self._lock = threading.Lock()
         self._epoch = 0
         self._task_counter = 0
+        #: Per-instance segment namespace: every arena this pool ever
+        #: creates is named under it, which is what makes the orphan
+        #: sweep (close / supervisor respawn) safe to scope.
+        self.arena_prefix = f"repro-arena-{secrets.token_hex(4)}"
         self._arenas: dict[int, list[SharedArena]] = {}
         self._workers: list[_Worker] = []
         #: Parent-side receive tallies plus worker-side send tallies of
@@ -353,10 +459,16 @@ class ProcessPoolBackend(ShardedBackend):
         self.transport_received = TransportTally()
         self.transport_sent = TransportTally()
         self._closed = False
+        #: Worker lifecycle guardian: in-batch revivals always go
+        #: through it; ``heartbeat_s`` additionally runs its periodic
+        #: between-batch liveness checks on a daemon thread.
+        self.supervisor = WorkerSupervisor(self, heartbeat_s=heartbeat_s)
         try:
             self._publish_epoch(self._epoch, self.graph, self.replications)
             self._spawn_workers()
             self._attach_all(self._epoch)
+            if heartbeat_s is not None:
+                self.supervisor.start()
         except BaseException:
             self.close()
             raise
@@ -371,50 +483,86 @@ class ProcessPoolBackend(ShardedBackend):
         replications: Sequence[ReplicationTable],
     ) -> None:
         """Materialize one epoch's shared arenas (graph + per-shard)."""
-        arenas = [SharedArena.create(graph.csr_arrays(), epoch=epoch)]
+        arenas = [
+            SharedArena.create(
+                graph.csr_arrays(), epoch=epoch, prefix=self.arena_prefix
+            )
+        ]
         for table in replications:
             arenas.append(
-                SharedArena.create(table.shared_components(), epoch=epoch)
+                SharedArena.create(
+                    table.shared_components(),
+                    epoch=epoch,
+                    prefix=self.arena_prefix,
+                )
             )
         self._arenas[epoch] = arenas
 
+    def _live_segment_names(self) -> frozenset[str]:
+        """Names of every segment this pool still owns (sweep keep-set)."""
+        return frozenset(
+            arena.spec.name
+            for arenas in self._arenas.values()
+            for arena in arenas
+        )
+
+    def _spawn_worker(self, shard: int) -> _Worker:
+        """Start one shard's worker process with fresh pipes."""
+        control_parent, control_child = self._context.Pipe(duplex=True)
+        data_parent, data_child = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                control_child,
+                data_child,
+                shard,
+                self.machines_per_shard,
+                self.cost_model,
+                self.size_model,
+                self.seed,
+                self.kernel,
+            ),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        control_child.close()
+        data_child.close()
+        return _Worker(
+            shard,
+            process,
+            control_parent,
+            RecordChannel(data_parent, self.size_model),
+        )
+
     def _spawn_workers(self) -> None:
         for shard in range(self.num_shards):
-            control_parent, control_child = self._context.Pipe(duplex=True)
-            data_parent, data_child = self._context.Pipe(duplex=False)
-            process = self._context.Process(
-                target=_worker_main,
-                args=(
-                    control_child,
-                    data_child,
-                    shard,
-                    self.machines_per_shard,
-                    self.cost_model,
-                    self.size_model,
-                    self.seed,
-                    self.kernel,
-                ),
-                name=f"repro-shard-{shard}",
-                daemon=True,
-            )
-            process.start()
-            control_child.close()
-            data_child.close()
-            self._workers.append(
-                _Worker(
-                    shard,
-                    process,
-                    control_parent,
-                    RecordChannel(data_parent, self.size_model),
-                )
-            )
+            self._workers.append(self._spawn_worker(shard))
 
-    def _control_reply(self, worker: _Worker, expected: str):
-        """Await one control message of ``expected`` kind from a worker."""
-        deadline = time.monotonic() + self.timeout_s
+    def _control_reply(
+        self, worker: _Worker, expected: str, timeout_s: float | None = None
+    ):
+        """Await one control message of ``expected`` kind from a worker.
+
+        Liveness and the deadline are checked on *every* iteration —
+        including after an unexpected message — so a worker streaming
+        junk (or a stale-reply flood) stalls the parent for at most
+        ``timeout_s``, never forever.
+        """
+        budget = self.timeout_s if timeout_s is None else timeout_s
+        deadline = time.monotonic() + budget
         while True:
             if worker.control.poll(0.05):
-                message = worker.control.recv()
+                try:
+                    message = worker.control.recv()
+                except (EOFError, OSError) as error:
+                    raise WorkerCrashError(
+                        f"shard {worker.shard} worker hung up awaiting "
+                        f"{expected}",
+                        shard=worker.shard,
+                        epoch=self._epoch,
+                        cause="died",
+                    ) from error
                 if message[0] == "error":
                     _, _, error, trace = message
                     raise EngineError(
@@ -423,16 +571,46 @@ class ProcessPoolBackend(ShardedBackend):
                     )
                 if message[0] == expected:
                     return message
-                continue
+                # Unexpected kind (stale pong, junk): fall through to
+                # the liveness/deadline checks below.
             if not worker.process.is_alive():
-                raise EngineError(
-                    f"shard {worker.shard} worker died awaiting {expected}"
+                raise WorkerCrashError(
+                    f"shard {worker.shard} worker died awaiting "
+                    f"{expected}",
+                    shard=worker.shard,
+                    epoch=self._epoch,
+                    cause="died",
                 )
             if time.monotonic() > deadline:
-                raise EngineError(
+                raise WorkerCrashError(
                     f"shard {worker.shard} worker timed out awaiting "
-                    f"{expected}"
+                    f"{expected}",
+                    shard=worker.shard,
+                    epoch=self._epoch,
+                    cause="timeout",
                 )
+
+    def _attach_worker(self, worker: _Worker, epoch: int) -> None:
+        """One worker's attach handshake for ``epoch`` (send + await)."""
+        arenas = self._arenas[epoch]
+        try:
+            worker.control.send(
+                (
+                    "attach",
+                    epoch,
+                    arenas[0].spec,
+                    arenas[1 + worker.shard].spec,
+                )
+            )
+        except (OSError, ValueError) as error:
+            raise WorkerCrashError(
+                f"shard {worker.shard} worker unreachable for attach: "
+                f"{error}",
+                shard=worker.shard,
+                epoch=epoch,
+                cause="pipe",
+            ) from error
+        self._control_reply(worker, "attached")
 
     def _attach_all(self, epoch: int) -> None:
         graph_spec = self._arenas[epoch][0].spec
@@ -565,7 +743,9 @@ class ProcessPoolBackend(ShardedBackend):
         with self._lock:
             self._task_counter += 1
             task = self._task_counter
-            arena = SharedArena.create(arrays, epoch=self._epoch)
+            arena = SharedArena.create(
+                arrays, epoch=self._epoch, prefix=self.arena_prefix
+            )
             try:
                 for worker in jobs:
                     worker.control.send(
@@ -588,10 +768,18 @@ class ProcessPoolBackend(ShardedBackend):
         return tables
 
     def close(self) -> None:
-        """Stop workers, close pipes and unlink every shared segment."""
+        """Stop workers, close pipes and unlink every shared segment.
+
+        Hardened against crashed and hung workers: a worker that
+        ignores ``stop`` is terminated, pipe teardown failures are
+        swallowed, every arena is destroyed regardless, and the pool's
+        name prefix is swept afterwards — a worker kill can no longer
+        leak ``/dev/shm`` segments past close.
+        """
         if self._closed:
             return
         self._closed = True
+        self.supervisor.stop()
         for worker in self._workers:
             try:
                 worker.control.send(("stop",))
@@ -602,13 +790,23 @@ class ProcessPoolBackend(ShardedBackend):
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
-            worker.control.close()
-            worker.channel.close()
+            try:
+                worker.control.close()
+            except OSError:
+                pass
+            try:
+                worker.channel.close()
+            except OSError:
+                pass
         self._workers = []
         for arenas in self._arenas.values():
             for arena in arenas:
-                arena.destroy()
+                try:
+                    arena.destroy()
+                except OSError:
+                    pass
         self._arenas = {}
+        SharedArena.sweep_orphans(self.arena_prefix)
 
     def __enter__(self) -> "ProcessPoolBackend":
         return self
@@ -633,45 +831,123 @@ class ProcessPoolBackend(ShardedBackend):
         Data and control are polled together: a worker blocked sending
         a large frame unblocks as soon as the parent drains it, and an
         error raised mid-task surfaces instead of deadlocking.  Frames
-        tagged with an older (failed) task are discarded.
+        tagged with an older (failed) task are discarded — and do
+        *not* count as progress: only this task's frames and result
+        reset the inactivity deadline, so a stale-task flood stalls
+        the parent for at most ``timeout_s``.  The liveness/deadline
+        checks run on every non-progressing iteration; a worker that
+        died *after* flushing its reply still answers the batch (the
+        buffered pipes are drained before the death is ruled on).
         """
         frames: list[np.ndarray] = []
         payload: dict | None = None
         counts_template = np.zeros(self.graph.num_vertices, dtype=np.int64)
         deadline = time.monotonic() + self.timeout_s
+        # A dead worker's pipe polls readable at EOF; the recv then
+        # raises.  Each pipe is retired individually on EOF so replies
+        # still buffered on the *other* pipe can be drained.
+        channel_open = True
+        control_open = True
         while payload is None or len(frames) < num_lanes:
             progressed = False
-            if worker.channel.poll(0.0 if payload is None else 0.05):
-                kind, tag, stops, stop_counts = (
-                    worker.channel.recv_records()
-                )
-                progressed = True
-                if tag == task and kind == "result":
-                    counts = counts_template.copy()
-                    counts[stops] = stop_counts
-                    frames.append(counts)
-            if payload is None and worker.control.poll(0.05):
-                message = worker.control.recv()
-                progressed = True
-                if message[0] == "error":
-                    _, _, error, trace = message
-                    raise EngineError(
-                        f"shard {worker.shard} batch failed: {error}\n"
-                        f"{trace}"
+            if channel_open and worker.channel.poll(
+                0.0 if payload is None else 0.05
+            ):
+                try:
+                    kind, tag, stops, stop_counts = (
+                        worker.channel.recv_records()
                     )
-                if message[0] == "result" and message[1] == task:
-                    payload = message[2]
+                except (EOFError, OSError):
+                    channel_open = False
+                else:
+                    if tag == task and kind == "result":
+                        progressed = True
+                        counts = counts_template.copy()
+                        counts[stops] = stop_counts
+                        frames.append(counts)
+            if (
+                payload is None
+                and control_open
+                and worker.control.poll(0.05)
+            ):
+                try:
+                    message = worker.control.recv()
+                except (EOFError, OSError):
+                    control_open = False
+                else:
+                    if message[0] == "error":
+                        _, _, error, trace = message
+                        raise EngineError(
+                            f"shard {worker.shard} batch failed: "
+                            f"{error}\n{trace}"
+                        )
+                    if message[0] == "result" and message[1] == task:
+                        progressed = True
+                        payload = message[2]
             if progressed:
                 deadline = time.monotonic() + self.timeout_s
-            elif not worker.process.is_alive():
-                raise EngineError(
-                    f"shard {worker.shard} worker died mid-batch"
+                continue
+            if not worker.process.is_alive():
+                if (channel_open and worker.channel.poll(0.0)) or (
+                    control_open and worker.control.poll(0.0)
+                ):
+                    # Dead, but replies are still buffered: keep
+                    # draining — a fully flushed result counts.
+                    continue
+                raise WorkerCrashError(
+                    f"shard {worker.shard} worker died mid-batch",
+                    shard=worker.shard,
+                    epoch=self._epoch,
+                    cause="died",
                 )
-            elif time.monotonic() > deadline:
-                raise EngineError(
-                    f"shard {worker.shard} worker timed out mid-batch"
+            if time.monotonic() > deadline:
+                raise WorkerCrashError(
+                    f"shard {worker.shard} worker timed out mid-batch",
+                    shard=worker.shard,
+                    epoch=self._epoch,
+                    cause="timeout",
                 )
         return payload, frames
+
+    def _send_run(
+        self,
+        shard: int,
+        task: int,
+        config: FrogWildConfig,
+        share: int,
+        query_specs: list,
+    ) -> None:
+        """Dispatch one shard's slice; pipe failures become typed."""
+        worker = self._workers[shard]
+        try:
+            worker.control.send(
+                (
+                    "run",
+                    task,
+                    self._epoch,
+                    config,
+                    share,
+                    self._shard_seed(config.seed, shard),
+                    query_specs,
+                )
+            )
+        except (OSError, ValueError) as error:
+            raise WorkerCrashError(
+                f"shard {shard} worker unreachable at dispatch: {error}",
+                shard=shard,
+                epoch=self._epoch,
+                cause="pipe",
+            ) from error
+
+    def _recover_shard(self, shard: int, cause: str) -> bool:
+        """Respawn one worker via the supervisor (lock held); False on
+        a failed respawn — the shard is then lost for this batch and
+        the slot keeps its dead handle for the next attempt."""
+        try:
+            self.supervisor.revive_locked(shard, cause=cause)
+        except EngineError:
+            return False
+        return True
 
     def run_batch(
         self, config: FrogWildConfig, queries: Sequence[RankingQuery]
@@ -683,35 +959,96 @@ class ProcessPoolBackend(ShardedBackend):
                 lanes=(), shared_network_bytes=0, simulated_time_s=0.0
             )
         query_specs = [
-            (tuple(query.seeds), None if query.weights is None else tuple(query.weights))
+            (
+                tuple(query.seeds),
+                None if query.weights is None else tuple(query.weights),
+            )
             for query in queries
         ]
         with self._lock:
             self._task_counter += 1
             task = self._task_counter
             shares = self._shares(config.num_frogs)
-            participating = []
-            for worker, share in zip(self._workers, shares):
+            # Dispatch phase.  A worker found dead *here* lost no work:
+            # respawn and re-send once for free under every policy.
+            pending: deque[tuple[int, int]] = deque()
+            failures: dict[int, tuple[int, WorkerCrashError]] = {}
+            for shard, share in enumerate(shares):
                 if share == 0:
                     continue
-                worker.control.send(
-                    (
-                        "run",
-                        task,
-                        self._epoch,
-                        config,
-                        share,
-                        self._shard_seed(config.seed, worker.shard),
-                        query_specs,
+                try:
+                    self._send_run(shard, task, config, share, query_specs)
+                except WorkerCrashError as error:
+                    if not self._recover_shard(shard, error.cause):
+                        failures[shard] = (share, error)
+                        continue
+                    try:
+                        self._send_run(
+                            shard, task, config, share, query_specs
+                        )
+                    except WorkerCrashError as again:
+                        failures[shard] = (share, again)
+                        continue
+                pending.append((shard, share))
+            # Collect phase.  A shard lost mid-flight is always revived
+            # (the pool never stays wedged); what happens to its slice
+            # is the failure policy's call.
+            results: dict[int, tuple[int, dict, list[np.ndarray]]] = {}
+            retries: dict[int, int] = {}
+            while pending:
+                shard, share = pending.popleft()
+                worker = self._workers[shard]
+                try:
+                    payload, frames = self._collect(
+                        worker, task, len(queries)
                     )
+                except WorkerCrashError as error:
+                    revived = self._recover_shard(shard, error.cause)
+                    attempt = retries.get(shard, 0)
+                    if (
+                        revived
+                        and self.on_shard_failure == "retry"
+                        and attempt < self.retry_budget
+                    ):
+                        retries[shard] = attempt + 1
+                        time.sleep(self.retry_backoff_s * (2.0**attempt))
+                        try:
+                            self._send_run(
+                                shard, task, config, share, query_specs
+                            )
+                        except WorkerCrashError as again:
+                            failures[shard] = (share, again)
+                        else:
+                            pending.append((shard, share))
+                        continue
+                    failures[shard] = (share, error)
+                    continue
+                self.supervisor.note_healthy_locked(shard)
+                results[shard] = (share, payload, frames)
+            lost_frogs = sum(share for share, _ in failures.values())
+            if failures:
+                first_shard = min(failures)
+                first = failures[first_shard][1]
+                detail = "; ".join(
+                    f"shard {shard}: {error.cause}"
+                    for shard, (_, error) in sorted(failures.items())
                 )
-                participating.append((worker, share))
+                if self.on_shard_failure == "fail" or not results:
+                    raise ShardFailure(
+                        f"batch lost {lost_frogs} of {config.num_frogs} "
+                        f"frogs ({detail}); pool restored",
+                        shard=first_shard,
+                        epoch=self._epoch,
+                        cause=first.cause,
+                        lost_frogs=lost_frogs,
+                    ) from first
             per_query_lanes: list[list[FrogWildResult]] = [
                 [] for _ in queries
             ]
             shard_costs: list[ShardCost] = []
-            for worker, share in participating:
-                payload, frames = self._collect(worker, task, len(queries))
+            for shard in sorted(results):
+                share, payload, frames = results[shard]
+                worker = self._workers[shard]
                 for lanes, counts, (num_frogs, report, ledger) in zip(
                     per_query_lanes, frames, payload["lanes"]
                 ):
@@ -728,7 +1065,7 @@ class ProcessPoolBackend(ShardedBackend):
                 worker.channel.received = TransportTally()
                 shard_costs.append(
                     ShardCost(
-                        shard=worker.shard,
+                        shard=shard,
                         num_machines=self.machines_per_shard,
                         shared_network_bytes=payload[
                             "shared_network_bytes"
@@ -740,6 +1077,11 @@ class ProcessPoolBackend(ShardedBackend):
                         simulated_time_s=payload["simulated_time_s"],
                     )
                 )
+        # Partial merging is the paper's claim made operational: the
+        # surviving shards' counters merge through the normal exact
+        # path, and the merged estimate's num_frogs automatically
+        # drops to the surviving population — the estimator rescales
+        # itself, the batch just carries a wider sampling bound.
         merged = [merge_shard_results(lanes) for lanes in per_query_lanes]
         return BatchOutcome(
             lanes=tuple(
@@ -753,7 +1095,45 @@ class ProcessPoolBackend(ShardedBackend):
                 default=0.0,
             ),
             shards=tuple(shard_costs),
+            degraded_shards=tuple(sorted(failures)),
+            lost_frogs=lost_frogs,
         )
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.traffic.chaos)
+    # ------------------------------------------------------------------
+    def worker_pid(self, shard: int) -> int:
+        """OS pid of one shard's *current* worker (for chaos kills)."""
+        return self._workers[shard].process.pid
+
+    def inject_chaos(
+        self, shard: int, kind: str, duration_s: float = 0.0
+    ) -> None:
+        """Deliver one fault-injection op to a worker (fire-and-forget).
+
+        ``"hang"`` parks the worker's control loop for ``duration_s``
+        (the parent sees a silent worker — the timeout path);
+        ``"delay"`` stalls the worker's *next* batch reply by
+        ``duration_s`` (the parent sees a worker mid-batch and quiet —
+        the deterministic window for landing a SIGKILL mid-flight).
+        Killing the process itself is an OS matter, not a protocol op:
+        ``os.kill(backend.worker_pid(shard), SIGKILL)`` — which is
+        what :class:`repro.traffic.ChaosInjector` does.  Serialized
+        with batches on the backend lock, so the op lands between
+        batches, never interleaved into one.
+        """
+        if kind not in ("hang", "delay"):
+            raise ConfigError(
+                f"unknown chaos op {kind!r}: expected 'hang' or 'delay'"
+            )
+        if duration_s < 0:
+            raise ConfigError("duration_s must be non-negative")
+        if self._closed:
+            raise EngineError("backend is closed")
+        with self._lock:
+            self._workers[shard].control.send(
+                ("chaos", kind, float(duration_s))
+            )
 
     # ------------------------------------------------------------------
     # Transport accounting

@@ -43,6 +43,7 @@ from ..core import FrogWildConfig
 from ..engine import RunReport
 from ..errors import ConfigError, EngineError, OverloadError
 from ..graph import DiGraph
+from ..theory.bounds import config_error_bound
 from .backend import (
     BatchOutcome,
     ExecutionBackend,
@@ -75,6 +76,14 @@ class RankingAnswer:
     iteration cut-off under backlog, and ``error_bound`` carries the
     Theorem-1 epsilon the degraded config still guarantees — accuracy
     given up under load is reported, never silently lost.
+
+    ``degraded_shards`` is non-empty for a *partial* answer: the
+    fail-soft process backend lost those shards' frog slices to a
+    worker crash mid-batch and merged the survivors
+    (``on_shard_failure="partial"``).  The estimate is an exact merge
+    of the surviving population, and ``error_bound`` is recomputed for
+    that smaller population — the same Theorem-1 widening that load
+    shedding reports, triggered by a crash instead of a queue.
     """
 
     query: RankingQuery
@@ -85,10 +94,16 @@ class RankingAnswer:
     report: RunReport
     degrade_level: int = 0
     error_bound: float | None = None
+    degraded_shards: tuple[int, ...] = ()
 
     @property
     def degraded(self) -> bool:
         return self.degrade_level > 0
+
+    @property
+    def partial(self) -> bool:
+        """True when this answer was merged without every shard."""
+        return bool(self.degraded_shards)
 
     @property
     def network_bytes(self) -> int:
@@ -157,6 +172,7 @@ class ServiceStats:
     queries_executed: int = 0
     queries_shed: int = 0
     queries_degraded: int = 0
+    queries_partial: int = 0
     batches_run: int = 0
     largest_batch: int = 0
     batch_size_count: int = 0
@@ -252,6 +268,7 @@ class ServiceStats:
             "queries_executed": float(self.queries_executed),
             "queries_shed": float(self.queries_shed),
             "queries_degraded": float(self.queries_degraded),
+            "queries_partial": float(self.queries_partial),
             "batches_run": float(self.batches_run),
             "largest_batch": float(self.largest_batch),
             "mean_batch_size": self.mean_batch_size(),
@@ -275,7 +292,10 @@ class _CacheEntry:
     ``degrade_level``/``error_bound`` record whether the estimate was
     computed under an admission-degraded config, so cache re-serves of
     a degraded answer keep reporting the accuracy they actually
-    guarantee.
+    guarantee.  ``degraded_shards`` marks a partial merge (shards lost
+    to a crash); partial entries resolve their waiting futures but are
+    never *stored* in the cache — the next ask re-executes against the
+    healed pool instead of re-serving the crash.
     """
 
     estimate: object
@@ -283,6 +303,7 @@ class _CacheEntry:
     batch_size: int
     degrade_level: int = 0
     error_bound: float | None = None
+    degraded_shards: tuple[int, ...] = ()
 
 
 class RankingService:
@@ -363,6 +384,15 @@ class RankingService:
         submitted query carries a per-query trace (enqueue → dispatch
         → resolve, with cache/coalesce/degrade/shed provenance) and
         the tracer folds them into streaming latency percentiles.
+    on_shard_failure:
+        Fail-soft policy forwarded to a ``backend="process"`` pool
+        (``"fail"``, ``"partial"`` or ``"retry"``; see
+        :class:`~repro.serving.ProcessPoolBackend`).  Ignored when the
+        backend is an explicit instance or an in-process layout.
+        Under ``"partial"`` a crash-degraded batch resolves its
+        waiters with :attr:`RankingAnswer.degraded_shards` set and a
+        recomputed (wider) Theorem-1 ``error_bound``, and is excluded
+        from the answer cache.
     """
 
     def __init__(
@@ -385,6 +415,7 @@ class RankingService:
         kernel: str = "fused",
         admission: "AdmissionController | None" = None,
         tracer: "QueryTracer | None" = None,
+        on_shard_failure: str = "fail",
     ) -> None:
         from ..dynamic import DynamicDiGraph
 
@@ -422,6 +453,7 @@ class RankingService:
                     size_model=size_model,
                     seed=seed,
                     kernel=kernel,
+                    on_shard_failure=on_shard_failure,
                 )
             elif kind == "sharded":
                 backend = ShardedBackend(
@@ -797,6 +829,9 @@ class RankingService:
                 if isinstance(self._clock, VirtualClock)
                 else None
             )
+            degraded_shards = tuple(
+                getattr(outcome, "degraded_shards", ()) or ()
+            )
             with self._lock:
                 self._record_outcome(outcome, len(entries))
                 for entry, lane in zip(entries, outcome.lanes):
@@ -807,17 +842,23 @@ class RankingService:
                         batch_size=len(entries),
                         degrade_level=0 if info is None else info[0],
                         error_bound=None if info is None else info[1],
+                        degraded_shards=degraded_shards,
                     )
                     self.stats.frogs_launched += lane.estimate.num_frogs
                     self.stats.attributed_network_bytes += (
                         lane.report.network_bytes
                     )
-                    if self.cache is not None:
+                    if self.cache is not None and not degraded_shards:
+                        # Partial answers resolve their waiters but are
+                        # never cached: the next ask of the same key
+                        # re-executes against the healed pool.
                         self.cache.put(entry.payload, cached)
                     for query, future in self._inflight.pop(
                         entry.payload, []
                     ):
                         resolved.append((query, future, cached))
+                if degraded_shards:
+                    self.stats.queries_partial += len(entries)
         except BaseException as error:
             # Fail every future this batch owes an answer to — both
             # the keys not yet popped from the in-flight table and any
@@ -903,6 +944,21 @@ class RankingService:
                 query.k,
                 self.graph.num_vertices,
             )
+        if entry.degraded_shards:
+            # Partial merge: the bound must describe the population
+            # that actually ran, which the merged estimate's num_frogs
+            # records exactly.  Same machinery as admission's degraded
+            # bound — only the frog count differs.
+            delta = self.admission.delta if self.admission else 0.1
+            pi_max = self.admission.pi_max if self.admission else 0.01
+            error_bound = config_error_bound(
+                query.effective_config(self.default_config),
+                query.k,
+                self.graph.num_vertices,
+                delta=delta,
+                pi_max=pi_max,
+                num_frogs=max(1, entry.estimate.num_frogs),
+            )
         return RankingAnswer(
             query=query,
             vertices=vertices,
@@ -912,4 +968,5 @@ class RankingService:
             report=entry.report,
             degrade_level=entry.degrade_level,
             error_bound=error_bound,
+            degraded_shards=entry.degraded_shards,
         )

@@ -5,6 +5,10 @@
   partial-synchronization penalty, driven by the intersection
   probability.
 * :func:`theorem1_epsilon` — the full ε of Theorem 1 (their sum).
+* :func:`config_error_bound` — Theorem 1 evaluated straight from a
+  :class:`~repro.core.FrogWildConfig` (the shared machinery behind the
+  admission ladder's degraded bounds and the process backend's
+  partial-answer bounds).
 * :func:`intersection_probability_bound` — Theorem 2.
 * :func:`recommended_iterations` / :func:`recommended_frogs` — the
   scaling of Remark 6 made concrete.
@@ -26,6 +30,7 @@ __all__ = [
     "mixing_loss_bound",
     "sampling_loss_bound",
     "theorem1_epsilon",
+    "config_error_bound",
     "intersection_probability_bound",
     "recommended_iterations",
     "recommended_frogs",
@@ -81,6 +86,42 @@ def theorem1_epsilon(
     ``mu_k(pi_hat) ≥ mu_k(pi) − ε``."""
     return mixing_loss_bound(p_teleport, t) + sampling_loss_bound(
         k, delta, num_frogs, ps, p_intersect
+    )
+
+
+def config_error_bound(
+    config,
+    k: int,
+    num_vertices: int,
+    delta: float = 0.1,
+    pi_max: float = 0.01,
+    num_frogs: int | None = None,
+) -> float:
+    """Theorem 1's ε promised by answers served under ``config``.
+
+    The intersection probability comes from Theorem 2 with the given
+    ``pi_max``.  ``config`` is duck typed (anything with ``num_frogs``,
+    ``iterations``, ``ps`` and ``p_teleport`` — a
+    :class:`~repro.core.FrogWildConfig` in practice), keeping this
+    module import-light.  ``num_frogs`` overrides the config's budget:
+    that is how partial answers — batches that lost a shard's frog
+    slice mid-flight — report the *wider* bound their surviving
+    population actually guarantees, through exactly the machinery the
+    :class:`~repro.traffic.DegradationLadder` uses for load-shed
+    answers.
+    """
+    frogs = config.num_frogs if num_frogs is None else int(num_frogs)
+    p_intersect = intersection_probability_bound(
+        num_vertices, config.iterations, pi_max, config.p_teleport
+    )
+    return theorem1_epsilon(
+        k=k,
+        delta=delta,
+        num_frogs=frogs,
+        ps=config.ps,
+        t=config.iterations,
+        p_intersect=p_intersect,
+        p_teleport=config.p_teleport,
     )
 
 

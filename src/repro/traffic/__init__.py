@@ -20,7 +20,13 @@ operational lever rather than a benchmark curiosity:
   batch-occupancy summaries that land in ``BENCH_serving.json``;
 * :mod:`~repro.traffic.harness` — the drivers: a deterministic
   virtual-time single-server queue (tests, CI) and a wall-clock
-  threaded replay (demos).
+  threaded replay (demos);
+* :mod:`~repro.traffic.chaos` — real-process fault injection under
+  load: :class:`ChaosSchedule` speaks the same event taxonomy as the
+  simulated :mod:`repro.faults` layer but its ``kill`` events SIGKILL
+  actual shard workers (``hang``/``delay`` stall them), exercising the
+  fail-soft process pool's supervision and partial-answer paths
+  (``repro chaos-bench``, the CI ``chaos`` lane).
 
 Exercised by ``benchmarks/bench_traffic.py``, the ``repro
 traffic-bench`` CLI command and the CI ``traffic`` lane.
@@ -39,6 +45,7 @@ from .arrivals import (
     DiurnalArrivals,
     PoissonArrivals,
 )
+from .chaos import ChaosEvent, ChaosInjector, ChaosSchedule
 from .harness import TrafficHarness, TrafficRunResult
 from .report import TrafficReport
 from .trace import QueryTrace, QueryTracer, StreamingReservoir
@@ -63,4 +70,7 @@ __all__ = [
     "TrafficReport",
     "TrafficHarness",
     "TrafficRunResult",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosInjector",
 ]

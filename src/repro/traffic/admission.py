@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from ..core import FrogWildConfig
 from ..errors import ConfigError
-from ..theory.bounds import intersection_probability_bound, theorem1_epsilon
+from ..theory.bounds import config_error_bound
 
 __all__ = [
     "DegradeRung",
@@ -246,20 +246,15 @@ class AdmissionController:
 
         The intersection probability comes from Theorem 2 with the
         controller's ``pi_max``; the result is the accuracy actually
-        promised by a degraded (or full-fidelity) answer.
+        promised by a degraded (or full-fidelity) answer.  Delegates to
+        :func:`repro.theory.bounds.config_error_bound` — the same
+        machinery the process backend uses to widen partial answers'
+        bounds after a shard loss.
         """
-        p_intersect = intersection_probability_bound(
+        return config_error_bound(
+            config,
+            k,
             num_vertices,
-            config.iterations,
-            self.pi_max,
-            config.p_teleport,
-        )
-        return theorem1_epsilon(
-            k=k,
             delta=self.delta,
-            num_frogs=config.num_frogs,
-            ps=config.ps,
-            t=config.iterations,
-            p_intersect=p_intersect,
-            p_teleport=config.p_teleport,
+            pi_max=self.pi_max,
         )

@@ -49,6 +49,9 @@ class TrafficRunResult:
     #: arrival and every dispatch — the series the overload acceptance
     #: test asserts monotone growth / boundedness on.
     depth_samples: list[tuple[float, int]] = field(default_factory=list)
+    #: Chaos events that actually fired during the run, as
+    #: ``(elapsed_s, event)`` (threaded mode with ``chaos=`` only).
+    chaos_fired: list = field(default_factory=list)
 
     def answers(self) -> list[RankingAnswer]:
         """All successfully served answers, in arrival order."""
@@ -200,12 +203,20 @@ class TrafficHarness:
         duration_s: float,
         time_scale: float = 1.0,
         result_timeout_s: float = 30.0,
+        chaos=None,
     ) -> TrafficRunResult:
         """Replay the schedule in real time against a started service.
 
         ``time_scale`` compresses the schedule (0.1 replays a 10 s
         workload in 1 s of wall time).  The service's background
         scheduler must be running (:meth:`RankingService.start`).
+
+        ``chaos`` optionally injects real faults while the load runs:
+        a :class:`~repro.traffic.ChaosSchedule` (armed against the
+        service's process pool on the same ``time_scale``) or a
+        pre-built :class:`~repro.traffic.ChaosInjector`.  The events
+        that actually fired come back on the result's
+        ``chaos_fired`` list.
         """
         if time_scale <= 0:
             raise ConfigError("time_scale must be positive")
@@ -220,33 +231,52 @@ class TrafficHarness:
                 "run_threaded needs a started service "
                 "(call service.start() first)"
             )
+        injector = None
+        if chaos is not None:
+            from .chaos import ChaosInjector, ChaosSchedule
+
+            if isinstance(chaos, ChaosSchedule):
+                injector = ChaosInjector(service, chaos)
+            elif isinstance(chaos, ChaosInjector):
+                injector = chaos
+            else:
+                raise ConfigError(
+                    "chaos must be a ChaosSchedule or ChaosInjector, "
+                    f"got {type(chaos).__name__}"
+                )
         events = self.workload.events(duration_s)
         futures: list[RankingFuture] = []
         depth_samples: list[tuple[float, int]] = []
         sim_before = service.stats.simulated_time_s
         start = time.monotonic()
-        for event in events:
-            target = start + event.time_s * time_scale
-            delay = target - time.monotonic()
-            if delay > 0:
-                time.sleep(delay)
-            futures.append(service.submit_query(event.query))
-            depth_samples.append(
-                (
-                    time.monotonic() - start,
-                    service.scheduler.pending_count(),
+        if injector is not None:
+            injector.arm(time_scale)
+        try:
+            for event in events:
+                target = start + event.time_s * time_scale
+                delay = target - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(service.submit_query(event.query))
+                depth_samples.append(
+                    (
+                        time.monotonic() - start,
+                        service.scheduler.pending_count(),
+                    )
                 )
-            )
-        service.flush()
-        deadline = time.monotonic() + result_timeout_s
-        for future in futures:
-            remaining = deadline - time.monotonic()
-            try:
-                future.result(timeout=max(0.0, remaining))
-            except Exception:
-                # Shed / failed futures already carry their error; the
-                # report counts them through the tracer.
-                continue
+            service.flush()
+            deadline = time.monotonic() + result_timeout_s
+            for future in futures:
+                remaining = deadline - time.monotonic()
+                try:
+                    future.result(timeout=max(0.0, remaining))
+                except Exception:
+                    # Shed / failed futures already carry their error;
+                    # the report counts them through the tracer.
+                    continue
+        finally:
+            if injector is not None:
+                injector.disarm()
         elapsed = time.monotonic() - start
         busy_s = (
             service.stats.simulated_time_s - sim_before
@@ -263,6 +293,9 @@ class TrafficHarness:
             events=events,
             futures=futures,
             depth_samples=depth_samples,
+            chaos_fired=(
+                [] if injector is None else list(injector.fired)
+            ),
         )
 
     # ------------------------------------------------------------------
