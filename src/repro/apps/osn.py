@@ -79,7 +79,7 @@ def generate_social_network(
     engagement = (1.0 - rng.random(num_users)) ** (-1.0 / 1.5)
     engagement = engagement / engagement.max()
 
-    edges = connectivity.edge_array()
+    edges = connectivity._edge_array()
     weight = engagement[edges[:, 0]] * engagement[edges[:, 1]]
     prob = weight / weight.sum()
     picks = rng.choice(edges.shape[0], size=interactions, p=prob)
@@ -100,8 +100,8 @@ def mixture_graph(
     if not 0.0 <= activity_weight <= 1.0:
         raise ConfigError("activity_weight must lie in [0, 1]")
     rng = np.random.default_rng(seed)
-    conn_edges = network.connectivity.edge_array()
-    act_edges = network.activity.edge_array()
+    conn_edges = network.connectivity._edge_array()
+    act_edges = network.activity._edge_array()
     total = conn_edges.shape[0]
     take_activity = rng.random(total) < activity_weight
     num_act = int(take_activity.sum())

@@ -55,7 +55,114 @@ from .graph import read_edge_list, summarize
 from .metrics import exact_identification, normalized_mass_captured
 from .pagerank import exact_pagerank
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "add_service_args",
+    "service_from_args",
+    "store_from_args",
+]
+
+
+def add_service_args(
+    parser: argparse.ArgumentParser,
+    *,
+    machines: int = 16,
+    backend_default: str = "auto",
+) -> None:
+    """Install the service-construction flags every bench shares.
+
+    ``--machines``, ``--kernel``, ``--backend``, ``--store`` and
+    ``--store-dir`` get one spelling, one choice set and one help
+    string across ``serve-bench`` / ``live-bench`` / ``traffic-bench``
+    / ``chaos-bench``, and :func:`service_from_args` /
+    :func:`store_from_args` give them one resolution path, so the
+    flags also *behave* identically.  Pinned by the golden ``--help``
+    snapshots under ``tests/data/``.
+    """
+    parser.add_argument("--machines", type=int, default=machines)
+    parser.add_argument(
+        "--kernel", choices=("fused", "lane-loop", "compiled"),
+        default="fused",
+        help="batch-kernel tier: 'compiled' runs the Numba single-pass "
+             "loops (install the [accel] extra; falls back to 'fused' "
+             "with a warning when numba is absent), 'lane-loop' is the "
+             "pre-fusion reference",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "local", "sharded", "process"),
+        default=backend_default,
+        help="execution backend: 'process' runs one OS process per shard "
+             "over shared-memory graph state (real multi-core scale-out); "
+             "'auto' picks local/sharded from --shards",
+    )
+    parser.add_argument(
+        "--store", choices=("ram", "segment"), default="ram",
+        help="graph storage tier: 'segment' serves through an on-disk "
+             "segment store (out-of-core base edge set, in-RAM delta "
+             "layer) instead of the in-RAM CSR",
+    )
+    parser.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="segment-store directory for --store segment: reopened if "
+             "a manifest exists there, otherwise created from the "
+             "workload graph (default: a fresh temporary directory)",
+    )
+
+
+def store_from_args(args, graph):
+    """The :class:`~repro.store.SegmentStore` the shared ``--store`` /
+    ``--store-dir`` flags ask for, or ``None`` for the RAM tier."""
+    if getattr(args, "store", "ram") != "segment":
+        return None
+    import tempfile
+    from pathlib import Path
+
+    from .store import SegmentStore
+
+    directory = args.store_dir or tempfile.mkdtemp(prefix="repro-segments-")
+    if (Path(directory) / "manifest.json").exists():
+        return SegmentStore(directory)
+    return SegmentStore.create(
+        directory,
+        source=graph,
+        num_machines=args.machines,
+        salt=args.seed or 0,
+    )
+
+
+def service_from_args(graph, config, args, **overrides):
+    """Build the :class:`~repro.serving.RankingService` a bench asked for.
+
+    One resolution path for the flags :func:`add_service_args`
+    installs — kernel-tier fallback, ``--backend auto``, the storage
+    tier — normalized into a :class:`~repro.serving.ServiceConfig` and
+    built via ``RankingService.from_config``.  ``overrides`` are
+    command-specific config fields (cache sizing, clocks, admission,
+    an explicit backend...).
+    """
+    from .core.kernels import resolve_kernel
+    from .serving import RankingService, ServiceConfig
+
+    kwargs = dict(
+        config=config,
+        num_machines=args.machines,
+        seed=args.seed,
+        kernel=resolve_kernel(getattr(args, "kernel", "fused")),
+        num_shards=getattr(args, "shards", 1) or 1,
+        backend=(
+            None if getattr(args, "backend", "auto") == "auto"
+            else args.backend
+        ),
+    )
+    if "store" not in overrides:
+        kwargs["store"] = store_from_args(args, graph)
+    kwargs.update(overrides)
+    service_config = ServiceConfig(**kwargs)
+    out_of_core = getattr(service_config.store, "out_of_core", False)
+    return RankingService.from_config(
+        None if out_of_core else graph, service_config
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -236,27 +343,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="lanes targeting the same (host, destination) share one "
              "physical frog record, attributed back proportionally",
     )
-    serve.add_argument("--machines", type=int, default=16)
     serve.add_argument(
         "--shards", type=int, default=1,
         help="split the machine fleet into this many shard sub-clusters "
              "and fan every batch out across them",
     )
-    serve.add_argument(
-        "--kernel", choices=("fused", "lane-loop", "compiled"),
-        default="fused",
-        help="batch-kernel tier: 'compiled' runs the Numba single-pass "
-             "loops (install the [accel] extra; falls back to 'fused' "
-             "with a warning when numba is absent), 'lane-loop' is the "
-             "pre-fusion reference",
-    )
-    serve.add_argument(
-        "--backend", choices=("auto", "local", "sharded", "process"),
-        default="auto",
-        help="execution backend: 'process' runs one OS process per shard "
-             "over shared-memory graph state (real multi-core scale-out); "
-             "'auto' picks local/sharded from --shards",
-    )
+    add_service_args(serve, machines=16)
     serve.add_argument(
         "--max-delay-ms", type=float, default=None,
         help="also demo the deadline scheduler: trickle queries in one "
@@ -287,12 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--seeds-per-query", type=int, default=2)
     live.add_argument("--frogs", type=int, default=2_000)
     live.add_argument("--iterations", type=int, default=4)
-    live.add_argument("--machines", type=int, default=8)
     live.add_argument(
         "--shards", type=int, default=None,
         help="shard sub-clusters (default: autotuned from fleet and "
              "frog budget)",
     )
+    add_service_args(live, machines=8)
     live.add_argument(
         "--rebalance-threshold", type=float, default=2.0,
         help="load-imbalance bound triggering a full re-salted "
@@ -323,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--seeds-per-user", type=int, default=2)
     traffic.add_argument("--frogs", type=int, default=2_000)
     traffic.add_argument("--iterations", type=int, default=4)
-    traffic.add_argument("--machines", type=int, default=8)
+    add_service_args(traffic, machines=8)
     traffic.add_argument("--batch-size", type=int, default=4)
     traffic.add_argument("--max-delay-ms", type=float, default=50.0)
     traffic.add_argument("--cache-ttl-s", type=float, default=0.5)
@@ -370,9 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seeds-per-user", type=int, default=2)
     chaos.add_argument("--frogs", type=int, default=2_000)
     chaos.add_argument("--iterations", type=int, default=3)
-    chaos.add_argument("--machines", type=int, default=8)
     chaos.add_argument("--shards", type=int, default=4,
                        help="worker processes in the pool")
+    add_service_args(chaos, machines=8, backend_default="process")
     chaos.add_argument("--batch-size", type=int, default=4)
     chaos.add_argument("--max-delay-ms", type=float, default=20.0)
     chaos.add_argument("--qps", type=float, default=40.0,
@@ -727,17 +819,16 @@ def _cmd_serve_bench(args) -> int:
         )
         for _ in range(args.queries)
     ]
-    service = RankingService(
+    service = service_from_args(
         graph,
         config,
-        num_machines=args.machines,
+        args,
         max_batch_size=args.batch_size,
         cache_capacity=max(256, 2 * args.queries),
-        seed=args.seed,
-        num_shards=args.shards,
-        backend=None if args.backend == "auto" else args.backend,
-        kernel=resolved_kernel,
     )
+    if args.store == "segment":
+        print(f"storage tier              : segment store at "
+              f"{service.store.directory}")
     layout = (
         f"{service.num_shards} shards x "
         f"{service.backend.machines_per_shard} machines"
@@ -874,10 +965,16 @@ def _cmd_live_bench(args) -> int:
     from .serving import RankingQuery
 
     base = _load_graph(args)
-    dynamic = DynamicDiGraph.from_digraph(base)
     config = FrogWildConfig(
         num_frogs=args.frogs, iterations=args.iterations, seed=args.seed
     )
+    from .core.kernels import resolve_kernel
+
+    # The shared --store flag swaps the churn source: RAM twin or the
+    # on-disk segment store (deltas land in its delta layer and the
+    # refresh pipeline compacts them off the query path).
+    store = store_from_args(args, base)
+    dynamic = None if store is not None else DynamicDiGraph.from_digraph(base)
     service = LiveRankingService(
         dynamic,
         config=config,
@@ -885,7 +982,13 @@ def _cmd_live_bench(args) -> int:
         num_shards=args.shards,
         rebalance_threshold=args.rebalance_threshold,
         seed=args.seed,
+        kernel=resolve_kernel(args.kernel),
+        execution="process" if args.backend == "process" else "simulated",
+        store=store,
     )
+    if store is not None:
+        print(f"storage tier              : segment store at "
+              f"{store.directory}")
     churn = ChurnGenerator(
         add_rate=args.add_rate, remove_rate=args.remove_rate, seed=args.seed
     )
@@ -915,7 +1018,9 @@ def _cmd_live_bench(args) -> int:
     )
 
     if args.background:
-        return _live_bench_background(args, service, churn, dynamic, queries)
+        return _live_bench_background(
+            args, service, churn, service.source, queries
+        )
 
     start = time.perf_counter()
     rows = []
@@ -954,7 +1059,7 @@ def _cmd_live_bench(args) -> int:
             "replay hit": all(a.cached for a in replays),
         })
         if len(rows) <= args.ticks:
-            service.refresh(churn.step(dynamic))
+            service.refresh(churn.step(service.source))
     wall_s = time.perf_counter() - start
 
     print(format_table(
@@ -1093,7 +1198,7 @@ def _traffic_scenario(args):
 
 
 def _cmd_traffic_bench(args) -> int:
-    from .serving import RankingService, VirtualClock
+    from .serving import VirtualClock
     from .traffic import AdmissionController, TrafficHarness
 
     if args.smoke:
@@ -1114,15 +1219,14 @@ def _cmd_traffic_bench(args) -> int:
     graph, config, workload = _traffic_scenario(args)
 
     def build_service(admission):
-        return RankingService(
+        return service_from_args(
             graph,
             config,
-            num_machines=args.machines,
+            args,
             max_batch_size=args.batch_size,
             max_delay_s=args.max_delay_ms / 1000.0,
             cache_ttl_s=args.cache_ttl_s,
             cache_capacity=max(256, 2 * args.users),
-            seed=args.seed,
             clock=VirtualClock(),
             admission=admission,
         )
@@ -1206,7 +1310,7 @@ def _cmd_chaos_bench(args) -> int:
 
     from .cluster import SharedArena
     from .graph.generators import twitter_like
-    from .serving import ProcessPoolBackend, RankingQuery, RankingService
+    from .serving import ProcessPoolBackend, RankingQuery
     from .theory.bounds import config_error_bound
     from .traffic import (
         ChaosEvent,
@@ -1236,29 +1340,39 @@ def _cmd_chaos_bench(args) -> int:
             f"--kill-shard must name one of the {args.shards} shards"
         )
 
+    if args.backend != "process":
+        raise SystemExit(
+            "chaos-bench SIGKILLs real shard workers; --backend must "
+            "stay 'process'"
+        )
     graph = twitter_like(n=args.n, seed=7)
     config = FrogWildConfig(
         num_frogs=args.frogs, iterations=args.iterations, seed=args.seed
     )
+    from .core.kernels import resolve_kernel
+
+    store = store_from_args(args, graph)
     pool = ProcessPoolBackend(
-        graph,
+        graph if store is None else None,
         num_shards=args.shards,
         num_machines=args.machines,
         seed=args.seed,
         timeout_s=args.timeout_s,
+        kernel=resolve_kernel(args.kernel),
         on_shard_failure="partial",
+        store=store,
     )
     # cache_capacity=0: every ask re-executes, so the post-recovery
     # probe measures the healed pool, not a cache line.
-    service = RankingService(
-        graph,
+    service = service_from_args(
+        graph if store is None else pool.graph,
         config,
-        num_machines=args.machines,
+        args,
         max_batch_size=args.batch_size,
         max_delay_s=args.max_delay_ms / 1000.0,
         cache_capacity=0,
-        seed=args.seed,
         backend=pool,
+        store=None,
     )
     probes = [
         RankingQuery(seeds=(2 * i, 2 * i + 1), k=args.top_k)

@@ -30,6 +30,7 @@ __all__ = [
     "lane_key_dtype",
     "l2_tile_bytes",
     "pack_lane_keys",
+    "plan_store_tiles",
     "plan_tiles",
     "unpack_lane_keys",
 ]
@@ -161,4 +162,59 @@ def plan_tiles(weights: np.ndarray, budget: int) -> np.ndarray:
         bounds.append(hi)
         base = int(cum[hi - 1])
         start = hi
+    return np.asarray(bounds, dtype=np.int64)
+
+
+def plan_store_tiles(
+    store,
+    budget: int,
+    *,
+    window=None,
+    chunk_vertices: int = 1 << 16,
+    bytes_per_edge: int = 16,
+) -> np.ndarray:
+    """Vertex-range tile plan read through window-pruned store scans.
+
+    The out-of-core twin of :func:`plan_tiles`: instead of a
+    RAM-resident per-row weight vector it walks the queried window of a
+    :class:`~repro.store.GraphStore` in ``chunk_vertices``-wide
+    sub-windows, so at most one chunk's keys are materialized at a time
+    and a :class:`~repro.store.SegmentStore` only pages in the segments
+    each sub-window's interval intersects.  Per-vertex weight is
+    ``out_degree * bytes_per_edge``.  Returns tile boundaries in vertex
+    ids, ``[window.vertex_lo, ..., window.vertex_hi]``; the plan equals
+    ``window.vertex_lo + plan_tiles(weights, budget)`` for the same
+    weights read whole (pinned by the layout tests).
+    """
+    from ...store import Window
+
+    n = int(store.num_vertices)
+    if window is None:
+        window = Window(0, n)
+    lo0, hi0 = window.vertex_lo, min(window.vertex_hi, n)
+    bounds = [lo0]
+    acc = 0
+    filled = False  # whether the open tile holds at least one vertex
+    for lo in range(lo0, hi0, int(chunk_vertices)):
+        hi = min(lo + int(chunk_vertices), hi0)
+        keys = store.scan(
+            Window(
+                lo,
+                hi,
+                machine=window.machine,
+                num_machines=window.num_machines,
+                salt=window.salt,
+            )
+        )
+        weights = np.bincount(
+            (np.asarray(keys, dtype=np.int64) // n) - lo, minlength=hi - lo
+        ) * int(bytes_per_edge)
+        for vertex, weight in zip(range(lo, hi), weights.tolist()):
+            if filled and acc + weight > int(budget):
+                bounds.append(vertex)
+                acc = 0
+            acc += int(weight)
+            filled = True
+    if filled:
+        bounds.append(hi0)
     return np.asarray(bounds, dtype=np.int64)

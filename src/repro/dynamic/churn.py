@@ -91,10 +91,12 @@ class ChurnGenerator:
     def _pick_removals(self, graph: DynamicDiGraph, count: int) -> np.ndarray:
         if count == 0 or graph.num_edges == 0:
             return np.empty((0, 2), dtype=np.int64)
-        edges = graph.edge_array()
-        count = min(count, edges.shape[0])
-        picks = self.rng.choice(edges.shape[0], size=count, replace=False)
-        return edges[picks]
+        keys = graph.edge_keys()
+        count = min(count, int(keys.size))
+        picks = self.rng.choice(keys.size, size=count, replace=False)
+        from ..store import keys_to_edges
+
+        return keys_to_edges(keys[picks], graph.num_vertices)
 
     def _pick_additions(self, graph: DynamicDiGraph, count: int) -> np.ndarray:
         if count == 0:
@@ -104,7 +106,7 @@ class ChurnGenerator:
 
         # Preferential attachment by in-degree with a uniform floor.
         in_degree = np.bincount(
-            graph.edge_array()[:, 1], minlength=n
+            graph.edge_keys() % n, minlength=n
         ).astype(np.float64)
         weights = self.attachment_bias * in_degree
         weights += (1.0 - self.attachment_bias) * max(in_degree.sum() / n, 1.0)

@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import GraphError
 from ..graph import DiGraph
 from ..graph.builder import from_edges
+from ..graph.digraph import _deprecated
 
 __all__ = ["DynamicDiGraph", "GraphDelta"]
 
@@ -98,7 +99,7 @@ class DynamicDiGraph:
     @classmethod
     def from_digraph(cls, graph: DiGraph) -> "DynamicDiGraph":
         """Seed the dynamic graph with a static snapshot's edges."""
-        return cls(graph.num_vertices, graph.edge_array())
+        return cls(graph.num_vertices, graph._edge_array())
 
     # ------------------------------------------------------------------
     @property
@@ -125,15 +126,40 @@ class DynamicDiGraph:
         pos = np.searchsorted(keys, key)
         return bool(pos < keys.size and keys[pos] == key)
 
-    def edge_array(self) -> np.ndarray:
-        """Current edges as ``(m, 2)`` rows, sorted by (source, target).
+    def edge_keys(self) -> np.ndarray:
+        """Current edges as sorted ``source * n + target`` keys.
 
-        Reads the key array exactly once, so the result is a consistent
-        snapshot even under concurrent :meth:`apply` from another
-        thread (mutators replace the array, they never mutate it).
+        The canonical :class:`~repro.store.GraphStore` read — and the
+        graph's own internal representation, so this is free.  Reads
+        the key array exactly once (mutators replace it wholesale, they
+        never write in place), so the result is a consistent snapshot
+        even under concurrent :meth:`apply` from another thread.
+        Callers must treat the array as read-only.
         """
+        return self._keys
+
+    def scan(self, window) -> np.ndarray:
+        """Window-filtered edge keys (see :class:`repro.store.Window`)."""
+        from ..store.base import scan_keys
+
+        return scan_keys(self._keys, self._n, window)
+
+    def _edge_array(self) -> np.ndarray:
+        """Current edges as ``(m, 2)`` rows (internal, consistent)."""
         keys = self._keys
         return np.column_stack([keys // self._n, keys % self._n])
+
+    def edge_array(self) -> np.ndarray:
+        """Deprecated: current edges as ``(m, 2)`` rows.
+
+        Use :meth:`edge_keys` (the canonical store read) or
+        ``repro.store.keys_to_edges(graph.edge_keys(), n)``.
+        """
+        _deprecated(
+            "DynamicDiGraph.edge_array()",
+            "DynamicDiGraph.edge_keys() / repro.store.keys_to_edges()",
+        )
+        return self._edge_array()
 
     def out_degree(self) -> np.ndarray:
         """Current out-degree vector."""
@@ -188,7 +214,7 @@ class DynamicDiGraph:
         walkable even when churn strands vertices without successors.
         """
         return from_edges(
-            self.edge_array(),
+            self._edge_array(),
             num_vertices=self._n,
             repair_dangling=repair_dangling,
         )

@@ -14,6 +14,7 @@ successor of ``j``.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator
 
 import numpy as np
@@ -21,6 +22,16 @@ import numpy as np
 from ..errors import GraphError
 
 __all__ = ["DiGraph"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    """One-release deprecation warning for the pre-store accessors."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next release; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class DiGraph:
@@ -103,16 +114,24 @@ class DiGraph:
         """Out-adjacency CSR successor array (read-only view)."""
         return self._indices
 
-    def csr_arrays(self) -> dict[str, np.ndarray]:
-        """The out-adjacency CSR arrays, keyed for shared-memory export.
+    def csr_components(self) -> dict[str, np.ndarray]:
+        """The out-adjacency CSR arrays, keyed for zero-copy export.
 
         Together with :meth:`from_csr_arrays` this is the zero-copy
-        transport of a graph across process boundaries: the owner
-        places these arrays in a :class:`~repro.cluster.SharedArena`
-        and workers rebuild an equivalent graph from the mapped views
-        without pickling an edge.
+        transport of a graph across process (or storage) boundaries:
+        the owner places these arrays in a
+        :class:`~repro.cluster.SharedArena` — or spills them to
+        ``.npy`` files reopened with ``mmap_mode="r"``
+        (:mod:`repro.store.spill`) — and consumers rebuild an
+        equivalent graph from the mapped views without pickling an
+        edge.
         """
         return {"indptr": self._indptr, "indices": self._indices}
+
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """Deprecated alias of :meth:`csr_components` (one release)."""
+        _deprecated("DiGraph.csr_arrays()", "DiGraph.csr_components()")
+        return self.csr_components()
 
     @classmethod
     def from_csr_arrays(cls, arrays: dict[str, np.ndarray]) -> "DiGraph":
@@ -187,9 +206,70 @@ class DiGraph:
         """Source vertex of every edge, aligned with :attr:`indices`."""
         return np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._indptr))
 
-    def edge_array(self) -> np.ndarray:
-        """All edges as an ``(m, 2)`` array of ``(source, target)`` rows."""
+    def _edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array, in CSR order (internal)."""
         return np.column_stack([self.edge_sources(), self._indices])
+
+    def edge_array(self) -> np.ndarray:
+        """Deprecated: all edges as ``(m, 2)`` rows, in CSR order.
+
+        Use the :class:`~repro.store.GraphStore` protocol instead —
+        :meth:`edge_keys` for the canonical sorted key stream, or
+        ``repro.store.keys_to_edges(graph.edge_keys(), n)`` when
+        ``(source, target)`` rows are needed.
+        """
+        _deprecated(
+            "DiGraph.edge_array()",
+            "DiGraph.edge_keys() / repro.store.keys_to_edges()",
+        )
+        return self._edge_array()
+
+    # ------------------------------------------------------------------
+    # GraphStore protocol (the in-RAM tier)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Store-protocol version counter; immutable graphs are 0."""
+        return 0
+
+    def edge_keys(self) -> np.ndarray:
+        """Sorted unique ``source * n + target`` keys of every edge.
+
+        The canonical :class:`~repro.store.GraphStore` read.  CSR rows
+        built by :func:`~repro.graph.builder.from_edges` already store
+        successors sorted, so the common case is a cheap column stack;
+        hand-built graphs with unsorted rows pay one sort.
+        """
+        keys = self.edge_sources() * self._n + self._indices
+        if keys.size > 1 and not bool((keys[1:] > keys[:-1]).all()):
+            keys = np.sort(keys)
+        return keys
+
+    def scan(self, window) -> np.ndarray:
+        """Window-filtered edge keys (see :class:`repro.store.Window`)."""
+        from ..store.base import scan_keys
+
+        return scan_keys(self.edge_keys(), self._n, window)
+
+    def snapshot(self, repair_dangling: str = "self-loop") -> "DiGraph":
+        """Store-protocol snapshot: an immutable graph is its own.
+
+        When a dangling repair is requested and the graph actually has
+        dangling vertices, a repaired copy is built (matching
+        :meth:`~repro.dynamic.DynamicDiGraph.snapshot` semantics);
+        otherwise this returns ``self`` unchanged.
+        """
+        if repair_dangling not in ("none", None) and bool(
+            (np.diff(self._indptr) == 0).any()
+        ):
+            from .builder import from_edges
+
+            return from_edges(
+                self._edge_array(),
+                num_vertices=self._n,
+                repair_dangling=repair_dangling,
+            )
+        return self
 
     # ------------------------------------------------------------------
     # Derived structures

@@ -89,7 +89,7 @@ def write_edge_list(
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
         handle.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
-        edge_arr = graph.edge_array()
+        edge_arr = graph._edge_array()
         np.savetxt(handle, edge_arr, fmt="%d\t%d")
 
 

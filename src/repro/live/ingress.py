@@ -81,10 +81,12 @@ class IncrementalIngress:
     Parameters
     ----------
     graph:
-        The live :class:`~repro.dynamic.DynamicDiGraph` whose edges are
-        being placed.  The ingress reads the graph's current edge set on
-        every :meth:`sync`; it never mutates the graph except through
-        :meth:`apply`.
+        The live graph store whose edges are being placed — any
+        :class:`~repro.store.GraphStore` (a
+        :class:`~repro.dynamic.DynamicDiGraph`, a disk-backed
+        :class:`~repro.store.SegmentStore`, ...).  The ingress reads
+        the store's current edge set on every :meth:`sync`; it never
+        mutates the store except through :meth:`apply`.
     num_machines:
         Target (sub-)cluster size.
     seed:
@@ -110,7 +112,9 @@ class IncrementalIngress:
                 "rebalance_threshold must exceed 1.0 (perfect balance) "
                 "or be None to disable the fallback"
             )
-        self.graph = graph
+        from ..store import as_graph_store
+
+        self.graph = as_graph_store(graph)
         self.num_machines = num_machines
         self.seed = 0 if seed is None else int(seed)
         self.rebalance_threshold = rebalance_threshold
@@ -133,9 +137,33 @@ class IncrementalIngress:
         return int(self._keys.size)
 
     def _graph_keys(self) -> np.ndarray:
-        """The graph's current edge keys, sorted ascending."""
-        edges = self.graph.edge_array()
-        return edges[:, 0] * self.graph.num_vertices + edges[:, 1]
+        """The store's current edge keys, sorted ascending."""
+        return np.asarray(self.graph.edge_keys(), dtype=np.int64)
+
+    def machine_keys(self, machine: int) -> np.ndarray:
+        """One machine's placed edge keys via a window-pruned scan.
+
+        The window carries this ingress's exact ``(num_machines,
+        salt)`` placement, so a :class:`~repro.store.SegmentStore`
+        whose layout matches answers from that machine's segments alone
+        — the shard-local read path that never streams another shard's
+        edges.  Exactness is the store contract; equality with the
+        maintained placement additionally requires that no edge
+        predates the current salt (i.e. after any full repartition the
+        next :meth:`sync` has run), which holds for every caller inside
+        the refresh pipeline.
+        """
+        from ..store import Window
+
+        return self.graph.scan(
+            Window(
+                0,
+                self.graph.num_vertices,
+                machine=int(machine),
+                num_machines=self.num_machines,
+                salt=self.salt,
+            )
+        )
 
     # ------------------------------------------------------------------
     def apply(self, delta: GraphDelta) -> IngressUpdate:

@@ -115,6 +115,27 @@ class LiveRankingService(RankingService):
         A :class:`~repro.dynamic.DynamicDiGraph` (or a static
         :class:`~repro.graph.DiGraph`, which is wrapped).  The service
         applies deltas to it through :meth:`refresh` / :meth:`attach`.
+    kernel:
+        Batch-kernel tier handed to every epoch's backend
+        (``"fused"`` / ``"lane-loop"`` / ``"compiled"``).
+    store:
+        Mutually exclusive with ``graph``: serve a live
+        :class:`~repro.store.GraphStore` as the churn source instead.
+        With a :class:`~repro.store.SegmentStore` the base edge set
+        stays on disk, deltas land in its in-RAM delta layer, every
+        ingress reconciles through the store's key reads, and the
+        refresh pipeline folds the delta layer back into segment files
+        whenever it reaches ``compact_threshold`` keys — periodic
+        compaction driven off the query path (the
+        :class:`~repro.live.BackgroundRefresher` runs it on its worker
+        thread under ``refresh_async``).  Scope note: the *served*
+        epoch structures (snapshot + replication tables) stay in RAM —
+        the live tier trades residency for patchability; fully
+        out-of-core serving is the static
+        ``RankingService(store=...)`` path.
+    compact_threshold:
+        Delta-layer size (in keys) at which a refresh compacts the
+        store; only meaningful with a compactable ``store``.
     num_shards:
         As in the base service; ``None`` autotunes via
         :func:`~repro.serving.choose_num_shards`.  Sharded layouts run
@@ -147,7 +168,7 @@ class LiveRankingService(RankingService):
 
     def __init__(
         self,
-        graph: DynamicDiGraph | DiGraph,
+        graph: DynamicDiGraph | DiGraph | None = None,
         config: FrogWildConfig | None = None,
         num_machines: int = 16,
         num_shards: int | None = 1,
@@ -163,6 +184,9 @@ class LiveRankingService(RankingService):
         refresh_policy: RefreshPolicy | None = None,
         execution: str = "simulated",
         on_shard_failure: str = "fail",
+        kernel: str = "fused",
+        store=None,
+        compact_threshold: int = 4096,
     ) -> None:
         if execution not in ("simulated", "process"):
             raise ConfigError(
@@ -175,7 +199,25 @@ class LiveRankingService(RankingService):
                 "expected 'fail', 'partial' or 'retry'"
             )
         self.on_shard_failure = on_shard_failure
-        if not isinstance(graph, DynamicDiGraph):
+        self._kernel = kernel
+        self.compact_threshold = compact_threshold
+        self.compactions = 0
+        if store is not None:
+            from ..store import as_graph_store
+
+            if graph is not None:
+                raise ConfigError(
+                    "pass either graph= or store=, not both: the live "
+                    "source must be a single mutable edge set"
+                )
+            # The store IS the churn source: deltas apply to it, every
+            # ingress reconciles through its key reads, snapshots
+            # freeze its merged view.
+            graph = as_graph_store(store)
+        elif graph is None:
+            raise ConfigError("LiveRankingService needs a graph or a store")
+        self.live_store = store
+        if isinstance(graph, DiGraph):
             graph = DynamicDiGraph.from_digraph(graph)
         self.source = graph
         self.execution = execution
@@ -308,6 +350,7 @@ class LiveRankingService(RankingService):
                     size_model=self._size_model,
                     seed=self._seed,
                     replications=tables,
+                    kernel=self._kernel,
                     on_shard_failure=self.on_shard_failure,
                 )
             else:
@@ -326,6 +369,7 @@ class LiveRankingService(RankingService):
                 size_model=self._size_model,
                 seed=self._seed,
                 replications=tables,
+                kernel=self._kernel,
             )
         return LocalBackend(
             snapshot,
@@ -334,6 +378,7 @@ class LiveRankingService(RankingService):
             size_model=self._size_model,
             seed=self._seed,
             replication=tables[0],
+            kernel=self._kernel,
         )
 
     def _patch_remote(self, snapshot: DiGraph, plans: list) -> list:
@@ -394,6 +439,15 @@ class LiveRankingService(RankingService):
             updates = [ingress.sync() for ingress in self.ingresses]
             snapshot = self.source.snapshot()
             backend = self._build_backend(snapshot)
+            maybe_compact = getattr(self.source, "maybe_compact", None)
+            if maybe_compact is not None:
+                # Fold the store's delta layer back into segment files
+                # here, on the refresh path (the background worker's
+                # thread under refresh_async) — never on a query path.
+                # The snapshot above already froze the merged view, so
+                # compaction is invisible to the epoch being published.
+                if maybe_compact(self.compact_threshold) is not None:
+                    self.compactions += 1
             build_time = time.perf_counter() - start
             if on_built is not None:
                 on_built(self)
@@ -576,6 +630,11 @@ class LiveRankingService(RankingService):
             "served_edges": float(self.epochs.current.num_edges),
             "source_edges": float(self.source.num_edges),
         }
+        if self.live_store is not None:
+            stats["store_compactions"] = float(self.compactions)
+            stats["store_pending_delta"] = float(
+                getattr(self.source, "pending_delta", 0)
+            )
         if self.refresher is not None:
             for key, value in self.refresher.stats.as_dict().items():
                 stats[f"refresher_{key}"] = value

@@ -41,7 +41,7 @@ def sparsify_uniform(
     keep = rng.random(graph.num_edges) < keep_probability
     kept = graph.subgraph_edges(keep)
     return from_edges(
-        kept.edge_array(),
+        kept._edge_array(),
         num_vertices=graph.num_vertices,
         repair_dangling="self-loop",
     )

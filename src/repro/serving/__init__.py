@@ -57,6 +57,7 @@ from .backend import (
 )
 from .batching import PendingQuery, QueryCoalescer, RankingQuery
 from .cache import CacheStats, TTLCache
+from .config import ServiceConfig
 from .process_backend import ProcessPoolBackend
 from .scheduler import BatchScheduler, SchedulerStats, VirtualClock
 from .supervisor import SupervisorStats, WorkerSupervisor
@@ -89,5 +90,6 @@ __all__ = [
     "RankingAnswer",
     "RankingFuture",
     "RankingService",
+    "ServiceConfig",
     "ServiceStats",
 ]

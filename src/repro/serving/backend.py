@@ -175,6 +175,47 @@ class ExecutionBackend(Protocol):
         ...
 
 
+def _checked_store(store):
+    """Validate an optional ``store=`` argument against the protocol."""
+    if store is None:
+        return None
+    from ..store import as_graph_store
+
+    return as_graph_store(store)
+
+
+def _store_snapshot(store) -> DiGraph:
+    """The served CSR snapshot of a store (a DiGraph serves itself)."""
+    if isinstance(store, DiGraph):
+        return store
+    return store.snapshot()
+
+
+def _out_of_core_tables(store, tag: str, build, fresh: bool = False):
+    """Serving tables of an out-of-core store, spilled once per layout.
+
+    ``build()`` constructs the RAM ``(graph, replications)`` pair; the
+    result is written to ``<store dir>/serving/<tag>-v<version>`` via
+    :func:`~repro.store.spill_serving_tables` and every subsequent
+    backend with the same layout tag and store version skips the build
+    entirely — it maps the spilled tables back and serves from the
+    mapped views (the bounded-RSS path: a fresh process never holds the
+    RAM copies).  ``fresh`` forces a rebuild (caller-supplied tables
+    may differ from what the tag describes).
+    """
+    from pathlib import Path
+
+    from ..store.spill import load_serving_tables, spill_serving_tables
+
+    directory = (
+        Path(store.directory) / "serving" / f"{tag}-v{store.version}"
+    )
+    if fresh or not (directory / "meta.json").exists():
+        graph, replications = build()
+        spill_serving_tables(directory, graph, replications)
+    return load_serving_tables(directory)
+
+
 def _batch_queries(
     graph: DiGraph, queries: Sequence[RankingQuery]
 ) -> list[np.ndarray]:
@@ -205,7 +246,7 @@ class LocalBackend:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: DiGraph | None = None,
         num_machines: int = 16,
         partitioner: str = "random",
         cost_model: CostModel | None = None,
@@ -213,21 +254,43 @@ class LocalBackend:
         seed: int | None = 0,
         replication: ReplicationTable | None = None,
         kernel: str = "fused",
+        store=None,
     ) -> None:
-        if graph.num_vertices == 0:
-            raise ConfigError("cannot serve an empty graph")
-        self.graph = graph
         self.num_machines = num_machines
         self.cost_model = cost_model
         self.size_model = size_model
         self.seed = seed
         self.kernel = kernel
-        if replication is None:
-            partition = make_partitioner(partitioner, seed).partition(
-                graph, num_machines
+        self.store = _checked_store(store)
+        if graph is None and self.store is None:
+            raise ConfigError("LocalBackend needs a graph or a store")
+
+        def build() -> tuple[DiGraph, list[ReplicationTable]]:
+            snapshot = (
+                graph if graph is not None else _store_snapshot(self.store)
             )
-            replication = ReplicationTable(graph, partition, seed=seed)
-        self.replication = replication
+            if snapshot.num_vertices == 0:
+                raise ConfigError("cannot serve an empty graph")
+            table = replication
+            if table is None:
+                partition = make_partitioner(partitioner, seed).partition(
+                    snapshot, num_machines
+                )
+                table = ReplicationTable(snapshot, partition, seed=seed)
+            return snapshot, [table]
+
+        if self.store is not None and getattr(
+            self.store, "out_of_core", False
+        ):
+            # Out-of-core serving: build the tables once (or reuse the
+            # spill a previous backend with this layout left), then
+            # serve from the mapped views only.
+            tag = f"local-m{num_machines}-p{partitioner}-s{seed}"
+            self.graph, (self.replication,) = _out_of_core_tables(
+                self.store, tag, build, fresh=replication is not None
+            )
+        else:
+            self.graph, (self.replication,) = build()
 
     def fresh_state(self):
         """A fresh accounting state over the shared ingress."""
@@ -296,7 +359,7 @@ class ShardedBackend:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: DiGraph | None = None,
         num_shards: int | None = 4,
         machines_per_shard: int | None = None,
         num_machines: int | None = None,
@@ -307,10 +370,12 @@ class ShardedBackend:
         num_frogs: int | None = None,
         replications: Sequence[ReplicationTable] | None = None,
         kernel: str = "fused",
+        store=None,
     ) -> None:
-        if graph.num_vertices == 0:
-            raise ConfigError("cannot serve an empty graph")
         self.kernel = kernel
+        self.store = _checked_store(store)
+        if graph is None and self.store is None:
+            raise ConfigError("ShardedBackend needs a graph or a store")
         fleet = num_machines if num_machines is not None else 16
         if num_shards is None:
             # Shard-count autotuning: size the fan-out to the fleet, the
@@ -337,47 +402,66 @@ class ShardedBackend:
             machines_per_shard = fleet // num_shards
         if machines_per_shard < 1:
             raise ConfigError("machines_per_shard must be positive")
-        self.graph = graph
         self.num_shards = num_shards
         self.machines_per_shard = machines_per_shard
         self.cost_model = cost_model
         self.size_model = size_model
         self.seed = seed
-        if replications is not None:
-            # Prebuilt per-shard ingress (e.g. maintained incrementally
-            # by repro.live.IncrementalIngress across graph epochs).
-            replications = list(replications)
-            if len(replications) != num_shards:
-                raise ConfigError(
-                    f"{len(replications)} replication tables supplied "
-                    f"for {num_shards} shards"
-                )
-            for shard, table in enumerate(replications):
-                if table.num_machines != machines_per_shard:
+
+        def build() -> tuple[DiGraph, list[ReplicationTable]]:
+            snapshot = (
+                graph if graph is not None else _store_snapshot(self.store)
+            )
+            if snapshot.num_vertices == 0:
+                raise ConfigError("cannot serve an empty graph")
+            if replications is not None:
+                # Prebuilt per-shard ingress (e.g. maintained
+                # incrementally by repro.live.IncrementalIngress across
+                # graph epochs).
+                tables = list(replications)
+                if len(tables) != num_shards:
                     raise ConfigError(
-                        f"shard {shard} replication targets "
-                        f"{table.num_machines} machines, expected "
-                        f"{machines_per_shard}"
+                        f"{len(tables)} replication tables supplied "
+                        f"for {num_shards} shards"
                     )
-                if table.graph.num_vertices != graph.num_vertices:
-                    raise ConfigError(
-                        f"shard {shard} replication was built for a "
-                        "different graph"
-                    )
-            self.replications = replications
-        else:
+                for shard, table in enumerate(tables):
+                    if table.num_machines != machines_per_shard:
+                        raise ConfigError(
+                            f"shard {shard} replication targets "
+                            f"{table.num_machines} machines, expected "
+                            f"{machines_per_shard}"
+                        )
+                    if table.graph.num_vertices != snapshot.num_vertices:
+                        raise ConfigError(
+                            f"shard {shard} replication was built for a "
+                            "different graph"
+                        )
+                return snapshot, tables
             # Ingress paid once per shard: each sub-cluster partitions
             # the graph across its own machines under a distinct seed.
-            self.replications = [
+            return snapshot, [
                 ReplicationTable(
-                    graph,
+                    snapshot,
                     make_partitioner(
                         partitioner, self._shard_seed(seed, shard)
-                    ).partition(graph, machines_per_shard),
+                    ).partition(snapshot, machines_per_shard),
                     seed=seed,
                 )
                 for shard in range(num_shards)
             ]
+
+        if self.store is not None and getattr(
+            self.store, "out_of_core", False
+        ):
+            tag = (
+                f"sharded-n{num_shards}-m{machines_per_shard}"
+                f"-p{partitioner}-s{seed}"
+            )
+            self.graph, self.replications = _out_of_core_tables(
+                self.store, tag, build, fresh=replications is not None
+            )
+        else:
+            self.graph, self.replications = build()
 
     @staticmethod
     def _shard_seed(base: int | None, shard: int) -> int | None:

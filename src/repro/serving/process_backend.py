@@ -391,7 +391,7 @@ class ProcessPoolBackend(ShardedBackend):
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: DiGraph | None = None,
         num_shards: int | None = 4,
         machines_per_shard: int | None = None,
         num_machines: int | None = None,
@@ -408,7 +408,13 @@ class ProcessPoolBackend(ShardedBackend):
         retry_budget: int = 2,
         retry_backoff_s: float = 0.05,
         heartbeat_s: float | None = None,
+        store=None,
     ) -> None:
+        # ``store=`` rides the ShardedBackend seam: results stay
+        # bitwise identical, but publishing an epoch *copies* the
+        # (possibly mapped) tables into shared memory, so the RSS-bound
+        # guarantee of the out-of-core tier is the in-process backends'
+        # — this backend trades residency back for process parallelism.
         super().__init__(
             graph,
             num_shards=num_shards,
@@ -421,6 +427,7 @@ class ProcessPoolBackend(ShardedBackend):
             num_frogs=num_frogs,
             replications=replications,
             kernel=kernel,
+            store=store,
         )
         if on_shard_failure not in ("fail", "partial", "retry"):
             raise ConfigError(
@@ -485,7 +492,7 @@ class ProcessPoolBackend(ShardedBackend):
         """Materialize one epoch's shared arenas (graph + per-shard)."""
         arenas = [
             SharedArena.create(
-                graph.csr_arrays(), epoch=epoch, prefix=self.arena_prefix
+                graph.csr_components(), epoch=epoch, prefix=self.arena_prefix
             )
         ]
         for table in replications:
@@ -725,7 +732,7 @@ class ProcessPoolBackend(ShardedBackend):
                 "must re-derive the same master noise as the "
                 "maintainer's cached draw"
             )
-        arrays = dict(snapshot.csr_arrays())
+        arrays = dict(snapshot.csr_components())
         jobs: list[_Worker] = []
         for worker, plan in zip(self._workers, plans):
             if plan.full:

@@ -397,7 +397,7 @@ class RankingService:
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: DiGraph | None = None,
         config: FrogWildConfig | None = None,
         num_machines: int = 16,
         partitioner: str = "random",
@@ -416,9 +416,48 @@ class RankingService:
         admission: "AdmissionController | None" = None,
         tracer: "QueryTracer | None" = None,
         on_shard_failure: str = "fail",
+        store=None,
     ) -> None:
         from ..dynamic import DynamicDiGraph
+        from .backend import _checked_store
+        from .config import ServiceConfig
 
+        #: The normalized construction config: the kwargs path and
+        #: :meth:`from_config` are one path with two spellings, and
+        #: this is where they meet (the mapping shim).
+        self.service_config = ServiceConfig(
+            config=config,
+            num_machines=num_machines,
+            partitioner=partitioner,
+            cost_model=cost_model,
+            size_model=size_model,
+            seed=seed,
+            backend=backend,
+            num_shards=num_shards,
+            kernel=kernel,
+            on_shard_failure=on_shard_failure,
+            store=store,
+            max_batch_size=max_batch_size,
+            cache_capacity=cache_capacity,
+            cache_ttl_s=cache_ttl_s,
+            max_delay_s=max_delay_s,
+            clock=clock,
+            generation=generation,
+            admission=admission,
+            tracer=tracer,
+        )
+        self.store = _checked_store(store)
+        if graph is None and store is None:
+            raise ConfigError("RankingService needs a graph or a store")
+        if (
+            graph is None
+            and self.store is not None
+            and not getattr(self.store, "out_of_core", False)
+        ):
+            # A RAM store is its own graph source; the out-of-core tier
+            # resolves through the backend (which maps the spilled
+            # snapshot instead of materializing one here).
+            graph = self.store
         if isinstance(graph, DynamicDiGraph):
             # Serve a snapshot of the live graph, and default churn
             # invalidation to its version counter so callers no longer
@@ -427,8 +466,13 @@ class RankingService:
             graph = source.snapshot()
             if generation is None:
                 generation = lambda: source.version  # noqa: E731
-        if graph.num_vertices == 0:
+        if graph is not None and graph.num_vertices == 0:
             raise ConfigError("cannot serve an empty graph")
+        if generation is None and self.store is not None:
+            # Any store carries a monotone version counter; mixing it
+            # into cache keys gives churn invalidation for free.
+            live_store = self.store
+            generation = lambda: live_store.version  # noqa: E731
         self.graph = graph
         self.default_config = config or FrogWildConfig(seed=seed)
         self.num_machines = num_machines
@@ -454,6 +498,7 @@ class RankingService:
                     seed=seed,
                     kernel=kernel,
                     on_shard_failure=on_shard_failure,
+                    store=self.store,
                 )
             elif kind == "sharded":
                 backend = ShardedBackend(
@@ -465,6 +510,7 @@ class RankingService:
                     size_model=size_model,
                     seed=seed,
                     kernel=kernel,
+                    store=self.store,
                 )
             elif kind == "local":
                 backend = LocalBackend(
@@ -475,11 +521,20 @@ class RankingService:
                     size_model=size_model,
                     seed=seed,
                     kernel=kernel,
+                    store=self.store,
                 )
             else:
                 raise ConfigError(
                     f"unknown backend {kind!r}: expected 'local', "
                     "'sharded' or 'process'"
+                )
+        if self.graph is None:
+            # Out-of-core store: adopt the backend's mapped snapshot.
+            self.graph = getattr(backend, "graph", None)
+            if self.graph is None:
+                raise ConfigError(
+                    "an explicit backend without a graph attribute "
+                    "requires graph= (or a RAM store)"
                 )
         if generation is None:
             # A backend that knows its graph generation (the epoch-swap
@@ -522,6 +577,28 @@ class RankingService:
         # Theorem-1 bound, threaded into the cache entry at execution
         # so re-serves keep reporting their accuracy.
         self._degrade_info: dict[Hashable, tuple[int, float]] = {}
+
+    @classmethod
+    def from_config(
+        cls, graph: DiGraph | None = None, config=None
+    ) -> "RankingService":
+        """Build a service from a typed :class:`~repro.serving.
+        ServiceConfig` instead of the legacy kwargs spread.
+
+        ``config=None`` means all defaults.  Equivalent by construction
+        to ``cls(graph, **config.to_kwargs())`` — both paths normalize
+        into the same dataclass (``service.service_config``).
+        """
+        from .config import ServiceConfig
+
+        config = config if config is not None else ServiceConfig()
+        if not isinstance(config, ServiceConfig):
+            raise ConfigError(
+                "from_config takes a ServiceConfig (got "
+                f"{type(config).__name__}); pass FrogWildConfig via "
+                "ServiceConfig(config=...)"
+            )
+        return cls(graph, **config.to_kwargs())
 
     # ------------------------------------------------------------------
     # Lifecycle

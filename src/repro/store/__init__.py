@@ -1,0 +1,37 @@
+"""Graph storage tiers behind one :class:`GraphStore` protocol.
+
+``repro.store`` is the seam between graph state and everything that
+reads it.  The in-RAM tiers — :class:`~repro.graph.DiGraph` and
+:class:`~repro.dynamic.DynamicDiGraph` — implement the protocol
+natively; :class:`SegmentStore` is the out-of-core tier (mmap'd sorted
+edge segments, an in-RAM delta layer, periodic compaction), and
+:mod:`~repro.store.spill` moves the *derived* serving tables out of
+core to match.
+"""
+
+from .base import (
+    GraphStore,
+    ScanStats,
+    Window,
+    as_graph_store,
+    edges_to_keys,
+    keys_to_edges,
+    scan_keys,
+)
+from .segments import CompactionStats, SegmentMeta, SegmentStore
+from .spill import load_serving_tables, spill_serving_tables
+
+__all__ = [
+    "CompactionStats",
+    "GraphStore",
+    "ScanStats",
+    "SegmentMeta",
+    "SegmentStore",
+    "Window",
+    "as_graph_store",
+    "edges_to_keys",
+    "keys_to_edges",
+    "load_serving_tables",
+    "scan_keys",
+    "spill_serving_tables",
+]
